@@ -1,0 +1,91 @@
+// Command optima-dnn runs the paper's application analysis (Section VI):
+// it pretrains the scaled VGG/ResNet zoo on the SynthImageNet substitute,
+// quantizes the networks to INT4 with retraining, injects the fom / power /
+// variation in-SRAM multiplier corners into every multiplication, transfer-
+// learns to the SynthCIFAR substitute, and prints Tables II and III with
+// the paper's numbers interleaved.
+//
+// Usage:
+//
+//	optima-dnn [-out dir] [-bench] [-noisy] [-model in.json]
+//
+// -bench runs the reduced protocol used by the benchmark harness; -noisy
+// samples per-operation mismatch in the multiplier LUT (extension — the
+// tables' protocol uses the deterministic calibrated transfer).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optima/internal/core"
+	"optima/internal/exp"
+	"optima/internal/report"
+)
+
+func main() {
+	outDir := flag.String("out", "out", "artifact directory")
+	bench := flag.Bool("bench", false, "run the reduced protocol")
+	noisy := flag.Bool("noisy", false, "sample per-operation mismatch in the multiplier")
+	modelPath := flag.String("model", "", "load a calibrated model instead of recalibrating")
+	flag.Parse()
+
+	if err := run(*outDir, *bench, *noisy, *modelPath); err != nil {
+		fmt.Fprintln(os.Stderr, "optima-dnn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, bench, noisy bool, modelPath string) error {
+	calib := core.DefaultCalibration()
+	var ctx *exp.Context
+	if modelPath != "" {
+		m, err := core.LoadModel(modelPath)
+		if err != nil {
+			return err
+		}
+		ctx = exp.NewContextWithModel(m, calib.Tech)
+	} else {
+		start := time.Now()
+		var err error
+		ctx, err = exp.NewContext(calib)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("calibrated in %v\n", time.Since(start))
+	}
+
+	sel, err := ctx.Selection()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corners: fom %v | power %v | variation %v\n",
+		sel.FOM.Config, sel.Power.Config, sel.Variation.Config)
+
+	scale := exp.FullDNNScale()
+	if bench {
+		scale = exp.BenchDNNScale()
+	}
+	scale.NoisyLUT = noisy
+
+	start := time.Now()
+	data, err := ctx.RunDNN(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application analysis in %v\n\n", time.Since(start))
+	fmt.Print(data.Table2.String())
+	fmt.Println()
+	fmt.Print(data.Table3.String())
+
+	out, err := report.NewOutput(outDir)
+	if err != nil {
+		return err
+	}
+	if err := out.WriteTable("table2_imagenet", data.Table2); err != nil {
+		return err
+	}
+	return out.WriteTable("table3_cifar", data.Table3)
+}

@@ -1,0 +1,393 @@
+// Command optima is the design-space exploration tool: it calibrates the
+// behavioral models against the golden simulator and regenerates the
+// paper's circuit-level figures and tables.
+//
+// Usage:
+//
+//	optima calibrate [-quick] [-model out.json]
+//	optima figures   [-out dir] [-model in.json] [-mc N]
+//	optima dse       [-out dir] [-model in.json]
+//	optima pvt       [-out dir] [-tau0 ns] [-vdac0 V] [-vdacfs V] [-corners]
+//	optima speedup   [-model in.json] [-mc N]
+//	optima all       [-out dir] [-mc N]
+//
+// Every artifact is written as .txt/.csv (tables) and .svg (charts) into
+// the output directory (default ./out).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"optima/internal/core"
+	"optima/internal/dse"
+	"optima/internal/exp"
+	"optima/internal/mult"
+	"optima/internal/refdata"
+	"optima/internal/report"
+	"optima/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "calibrate":
+		err = runCalibrate(args)
+	case "figures":
+		err = runFigures(args)
+	case "dse":
+		err = runDSE(args)
+	case "pvt":
+		err = runPVT(args)
+	case "speedup":
+		err = runSpeedup(args)
+	case "all":
+		err = runAll(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "optima:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: optima <command> [flags]
+
+commands:
+  calibrate   fit the behavioral models against golden simulation
+  figures     regenerate Fig. 1, 4, 5 and 6 artifacts
+  dse         run the 48-corner exploration (Fig. 7, Table I, Fig. 8)
+  pvt         PVT robustness of one configuration (incl. golden corner check)
+  speedup     measure the behavioral-vs-golden speed-up headlines
+  all         everything above into one output directory`)
+}
+
+// makeContext builds an experiment context, loading a model when given.
+func makeContext(modelPath string, quick bool) (*exp.Context, error) {
+	calib := core.DefaultCalibration()
+	if quick {
+		calib = core.QuickCalibration()
+	}
+	if modelPath != "" {
+		if m, err := core.LoadModel(modelPath); err == nil {
+			fmt.Printf("loaded model from %s\n", modelPath)
+			return exp.NewContextWithModel(m, calib.Tech), nil
+		}
+		fmt.Printf("model %s not found; calibrating\n", modelPath)
+	}
+	start := time.Now()
+	ctx, err := exp.NewContext(calib)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("calibrated in %v: %v\n", time.Since(start), ctx.Model.Report)
+	return ctx, nil
+}
+
+func runCalibrate(args []string) error {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "use the reduced calibration grids")
+	out := fs.String("model", "out/model.json", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	calib := core.DefaultCalibration()
+	if *quick {
+		calib = core.QuickCalibration()
+	}
+	start := time.Now()
+	model, err := core.Calibrate(calib)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated in %v\n", time.Since(start))
+	fmt.Println("fit report:", model.Report)
+	if err := os.MkdirAll(dirOf(*out), 0o755); err != nil {
+		return err
+	}
+	if err := model.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+func runFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ExitOnError)
+	outDir := fs.String("out", "out", "artifact directory")
+	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
+	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := makeContext(*modelPath, false)
+	if err != nil {
+		return err
+	}
+	out, err := report.NewOutput(*outDir)
+	if err != nil {
+		return err
+	}
+	return writeFigures(ctx, out, *mc)
+}
+
+func writeFigures(ctx *exp.Context, out *report.Output, mc int) error {
+	t1, c1 := exp.Fig1()
+	fmt.Print(t1.String())
+	if err := out.WriteTable("fig1_design_space", t1); err != nil {
+		return err
+	}
+	if err := out.WriteChart("fig1_design_space", c1); err != nil {
+		return err
+	}
+
+	f4, err := ctx.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 4: '0'-code discharge after 2 ns = %.2f mV (Section III-1 asymmetry)\n", f4.SubVtDischarge*1e3)
+	if err := out.WriteChart("fig4a_discharge_time", f4.TimeChart); err != nil {
+		return err
+	}
+	if err := out.WriteChart("fig4b_discharge_vwl", f4.VWLChart); err != nil {
+		return err
+	}
+
+	f5, err := ctx.Fig5(mc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 5d: mismatch ±3σ band at 2 ns = ±%.1f mV (paper: ≈ −10…+20 mV)\n", f5.MismatchSpreadMV)
+	for name, chart := range map[string]*report.Chart{
+		"fig5a_supply":   f5.SupplyChart,
+		"fig5b_temp":     f5.TempChart,
+		"fig5c_corners":  f5.CornerChart,
+		"fig5d_mismatch": f5.MismatchChart,
+	} {
+		if err := out.WriteChart(name, chart); err != nil {
+			return err
+		}
+	}
+
+	f6, err := ctx.Fig6()
+	if err != nil {
+		return err
+	}
+	fmt.Print(f6.RMSTable.String())
+	if err := out.WriteTable("fig6_rms", f6.RMSTable); err != nil {
+		return err
+	}
+	for name, chart := range map[string]*report.Chart{
+		"fig6a_supply_model": f6.SupplyChart,
+		"fig6b_temp_model":   f6.TempChart,
+		"fig6c_sigma_model":  f6.MismatchChart,
+		"fig6d_energy_model": f6.EnergyChart,
+	} {
+		if err := out.WriteChart(name, chart); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runDSE(args []string) error {
+	fs := flag.NewFlagSet("dse", flag.ExitOnError)
+	outDir := fs.String("out", "out", "artifact directory")
+	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := makeContext(*modelPath, false)
+	if err != nil {
+		return err
+	}
+	out, err := report.NewOutput(*outDir)
+	if err != nil {
+		return err
+	}
+	return writeDSE(ctx, out)
+}
+
+func writeDSE(ctx *exp.Context, out *report.Output) error {
+	start := time.Now()
+	f7, err := ctx.Fig7()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("48-corner sweep in %v\n", time.Since(start))
+	if err := out.WriteTable("fig7_corners", f7.CornersTable); err != nil {
+		return err
+	}
+	for name, chart := range map[string]*report.Chart{
+		"fig7_left_error":   f7.LeftError,
+		"fig7_left_energy":  f7.LeftEnergy,
+		"fig7_right_error":  f7.RightError,
+		"fig7_right_energy": f7.RightEnergy,
+	} {
+		if err := out.WriteChart(name, chart); err != nil {
+			return err
+		}
+	}
+
+	t1, err := ctx.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(t1.Table.String())
+	fmt.Printf("energy per op incl. write at fom corner: %.2f pJ (paper: %.2f pJ)\n",
+		t1.EnergyPerOpPJ, refdata.EnergyPerOpPJ)
+	fmt.Printf("worst-case analog σ among corners: %.2f mV (paper: %.2f mV)\n",
+		t1.WorstSigmaMV, refdata.WorstCaseSigmaMV)
+	if err := out.WriteTable("table1_corners", t1.Table); err != nil {
+		return err
+	}
+
+	f8, err := ctx.Fig8()
+	if err != nil {
+		return err
+	}
+	for name, chart := range map[string]*report.Chart{
+		"fig8_error_by_result": f8.ErrorByResult,
+		"fig8_sigma_by_result": f8.SigmaByResult,
+		"fig8_error_vs_vdd":    f8.ErrorVsVDD,
+		"fig8_error_vs_temp":   f8.ErrorVsTemp,
+	} {
+		if err := out.WriteChart(name, chart); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runPVT(args []string) error {
+	fs := flag.NewFlagSet("pvt", flag.ExitOnError)
+	outDir := fs.String("out", "out", "artifact directory")
+	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
+	tau0 := fs.Float64("tau0", 0.16, "discharge time of the LSB bit line [ns]")
+	vdac0 := fs.Float64("vdac0", 0.3, "DAC output for code 0 [V]")
+	vdacfs := fs.Float64("vdacfs", 1.0, "DAC full-scale output [V]")
+	corners := fs.Bool("corners", true, "run the golden process-corner check (slow)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := makeContext(*modelPath, false)
+	if err != nil {
+		return err
+	}
+	out, err := report.NewOutput(*outDir)
+	if err != nil {
+		return err
+	}
+	cfg := mult.Config{Tau0: *tau0 * 1e-9, VDAC0: *vdac0, VDACFS: *vdacfs}
+	fmt.Printf("configuration: %v\n", cfg)
+
+	vddSweep, err := dse.SweepVDD(ctx.Model, cfg, stats.Linspace(0.90, 1.10, 9))
+	if err != nil {
+		return err
+	}
+	tempSweep, err := dse.SweepTemp(ctx.Model, cfg, stats.Linspace(0, 60, 7))
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("PVT robustness of "+cfg.String(), "variable", "value", "eps_mul [LSB]", "E_mul [fJ]")
+	for i := range vddSweep.X {
+		tbl.AddRow("VDD [V]", vddSweep.X[i], vddSweep.AvgError[i], vddSweep.AvgEnergy[i]*1e15)
+	}
+	for i := range tempSweep.X {
+		tbl.AddRow("T [degC]", tempSweep.X[i], tempSweep.AvgError[i], tempSweep.AvgEnergy[i]*1e15)
+	}
+	if *corners {
+		check, err := dse.GoldenCornerCheck(ctx.Tech, cfg, ctx.Spice)
+		if err != nil {
+			return err
+		}
+		for i, corner := range check.Corners {
+			tbl.AddRow("corner (golden)", corner.String(), check.AvgError[i], "-")
+		}
+		fmt.Printf("golden corner check: %d transients\n", check.Transients)
+	}
+	fmt.Print(tbl.String())
+	return out.WriteTable("pvt_robustness", tbl)
+}
+
+func runSpeedup(args []string) error {
+	fs := flag.NewFlagSet("speedup", flag.ExitOnError)
+	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
+	mc := fs.Int("mc", 200, "Monte-Carlo samples for the MC speed-up")
+	outDir := fs.String("out", "out", "artifact directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := makeContext(*modelPath, false)
+	if err != nil {
+		return err
+	}
+	out, err := report.NewOutput(*outDir)
+	if err != nil {
+		return err
+	}
+	return writeSpeedup(ctx, out, *mc)
+}
+
+func writeSpeedup(ctx *exp.Context, out *report.Output, mc int) error {
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+	is, err := ctx.SpeedupInputSpace(cfg)
+	if err != nil {
+		return err
+	}
+	mcRes, err := ctx.SpeedupMonteCarlo(cfg, mc)
+	if err != nil {
+		return err
+	}
+	tbl := exp.SpeedupTable(is, mcRes)
+	fmt.Print(tbl.String())
+	return out.WriteTable("speedup", tbl)
+}
+
+func runAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	outDir := fs.String("out", "out", "artifact directory")
+	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := makeContext("", false)
+	if err != nil {
+		return err
+	}
+	out, err := report.NewOutput(*outDir)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Model.Save(*outDir + "/model.json"); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s/model.json\n", *outDir)
+	if err := writeFigures(ctx, out, *mc); err != nil {
+		return err
+	}
+	if err := writeDSE(ctx, out); err != nil {
+		return err
+	}
+	return writeSpeedup(ctx, out, 200)
+}

@@ -1,0 +1,12 @@
+// Package optima is a design-space exploration framework for discharge-based
+// (current-domain) in-SRAM computing, reproducing "OPTIMA: Design-Space
+// Exploration of Discharge-Based In-SRAM Computing: Quantifying
+// Energy-Accuracy Trade-Offs" (DAC 2024).
+//
+// The repository is organized as a set of substrates under internal/ (golden
+// transistor-level simulation, polynomial fitting, discrete-event kernel,
+// DNN inference and quantization) with the paper's behavioral models in
+// internal/core and the 4-bit in-SRAM multiplier case study in internal/mult.
+// Command-line tools under cmd/ and the benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
+package optima

@@ -1,0 +1,91 @@
+// DNN inference with the in-SRAM multiplier: train a small CNN on the
+// synthetic dataset, quantize it to INT4, and compare exact integer
+// execution against the in-memory multiplier corners — a miniature of the
+// paper's Table II protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"optima/internal/core"
+	"optima/internal/dataset"
+	"optima/internal/device"
+	"optima/internal/dnn"
+	"optima/internal/mult"
+	"optima/internal/quant"
+	"optima/internal/stats"
+)
+
+func main() {
+	// Behavioral models for the multiplier corners.
+	model, err := core.Calibrate(core.QuickCalibration())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small task: 10-class synthetic images.
+	ds, err := dataset.Generate(dataset.SynthCIFARConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d train / %d test, %d classes\n",
+		ds.Name, ds.Train.N, ds.Test.N, ds.Classes)
+
+	rng := stats.NewRNG(11)
+	net, err := dnn.NewZooModel("VGG16S", dataset.Channels, dataset.Height, dataset.Width, ds.Classes, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d parameters, %d multiplications per inference\n",
+		net.Name, net.NumParams(), net.MACsPerInference())
+
+	start := time.Now()
+	cfg := dnn.DefaultTrainConfig()
+	cfg.Verbose = true
+	if _, err := net.Fit(ds.Train, ds.TrainY, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %v\n\n", time.Since(start))
+
+	top1, top5 := net.TopKAccuracy(ds.Test, ds.TestY, 5)
+	fmt.Printf("%-22s top-1 %5.1f%%  top-5 %5.1f%%\n", "FLOAT32", top1, top5)
+
+	// INT4 post-training quantization with a short QAT retune.
+	if err := quant.QATFineTune(net, ds.Train, ds.TrainY, quant.DefaultQATConfig()); err != nil {
+		log.Fatal(err)
+	}
+	calib := dnn.NewTensor(64, ds.Train.C, ds.Train.H, ds.Train.W)
+	copy(calib.Data, ds.Train.Data[:calib.Len()])
+	qnet, err := quant.Quantize(net, calib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top1, top5 = qnet.TopKAccuracy(ds.Test, ds.TestY, 5)
+	fmt.Printf("%-22s top-1 %5.1f%%  top-5 %5.1f%%\n", "INT4 (exact)", top1, top5)
+
+	// Inject the three paper corners.
+	corners := []struct {
+		name string
+		cfg  mult.Config
+	}{
+		{"in-memory fom", mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}},
+		{"in-memory power", mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 0.7}},
+		{"in-memory variation", mult.Config{Tau0: 0.28e-9, VDAC0: 0.5, VDACFS: 1.0}},
+	}
+	for _, corner := range corners {
+		b, err := mult.NewBehavioral(model, corner.cfg, device.Nominal())
+		if err != nil {
+			log.Fatal(err)
+		}
+		im, err := quant.NewInMemory(b, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qnet.Mult = im
+		top1, top5 = qnet.TopKAccuracy(ds.Test, ds.TestY, 5)
+		fmt.Printf("%-22s top-1 %5.1f%%  top-5 %5.1f%%  (%d multiplications)\n",
+			corner.name, top1, top5, im.Ops)
+	}
+}

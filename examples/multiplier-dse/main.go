@@ -1,0 +1,80 @@
+// Multiplier design-space exploration: sweep the paper's 48 corners, print
+// the Pareto front of the energy-accuracy trade-off, and apply the three
+// selection rules of Table I (maximum figure of merit, minimum energy,
+// minimum σ at maximum discharge).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"optima/internal/core"
+	"optima/internal/dse"
+	"optima/internal/report"
+)
+
+func main() {
+	model, err := core.Calibrate(core.QuickCalibration())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	metrics, err := dse.Sweep(model, dse.DefaultGrid(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swept %d corners in %v (the golden-simulation equivalent takes minutes)\n\n",
+		len(metrics), time.Since(start))
+
+	front := dse.ParetoFront(metrics)
+	tbl := report.NewTable("Pareto-optimal corners (energy ↑, error ↓)",
+		"τ0 [ns]", "V_DAC,0 [V]", "V_DAC,FS [V]", "ϵ_mul [LSB]", "E_mul [fJ]", "FOM")
+	for _, m := range front {
+		tbl.AddRow(m.Config.Tau0*1e9, m.Config.VDAC0, m.Config.VDACFS,
+			m.EpsMul, m.EMul*1e15, m.FOM())
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	sel, err := dse.Select(metrics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nselected corners (paper Table I rules):")
+	fmt.Printf("  fom:       %v  ϵ=%.2f LSB  E=%.1f fJ\n", sel.FOM.Config, sel.FOM.EpsMul, sel.FOM.EMul*1e15)
+	fmt.Printf("  power:     %v  ϵ=%.2f LSB  E=%.1f fJ\n", sel.Power.Config, sel.Power.EpsMul, sel.Power.EMul*1e15)
+	fmt.Printf("  variation: %v  ϵ=%.2f LSB  E=%.1f fJ  (small ops %.2f vs large ops %.2f)\n",
+		sel.Variation.Config, sel.Variation.EpsMul, sel.Variation.EMul*1e15,
+		sel.Variation.EpsSmall, sel.Variation.EpsLarge)
+
+	// An ASCII rendering of the energy-error plane for the terminal.
+	var chart report.Chart
+	chart.Title = "Energy vs error, all 48 corners (o) and Pareto front (*)"
+	chart.XLabel = "E_mul [fJ]"
+	chart.YLabel = "eps_mul [LSB]"
+	var xs, ys []float64
+	for _, m := range metrics {
+		xs = append(xs, m.EMul*1e15)
+		ys = append(ys, m.EpsMul)
+	}
+	var fx, fy []float64
+	for _, m := range front {
+		fx = append(fx, m.EMul*1e15)
+		fy = append(fy, m.EpsMul)
+	}
+	// Front first so its marker wins where points overlap.
+	if err := chart.AddSeries("pareto", fx, fy); err != nil {
+		log.Fatal(err)
+	}
+	if err := chart.AddSeries("all corners", xs, ys); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := chart.RenderASCII(os.Stdout, 70, 18); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,9 @@
+package core
+
+import "os"
+
+// osWriteFile lets tests write fixtures without importing os in the main
+// test file twice.
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"optima/internal/stats"
+)
+
+func TestGenerateShapes(t *testing.T) {
+	cfg := Config{Name: "t", Classes: 5, TrainPerCls: 8, TestPerCls: 3, Noise: 0.05, Seed: 1}
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Train.N != 40 || ds.Test.N != 15 {
+		t.Fatalf("sizes %d/%d, want 40/15", ds.Train.N, ds.Test.N)
+	}
+	if ds.Train.C != Channels || ds.Train.H != Height || ds.Train.W != Width {
+		t.Fatalf("train shape %s", ds.Train.Shape())
+	}
+	if len(ds.TrainY) != 40 || len(ds.TestY) != 15 {
+		t.Fatal("label lengths wrong")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Classes: 1, TrainPerCls: 1, TestPerCls: 1}); err == nil {
+		t.Fatal("degenerate config accepted")
+	}
+}
+
+func TestPixelsInRange(t *testing.T) {
+	ds, err := Generate(Config{Name: "t", Classes: 4, TrainPerCls: 10, TestPerCls: 5, Noise: 0.2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ds.Train.Data {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("pixel %g out of [0,1]", v)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	cfg := SynthCIFARConfig()
+	cfg.TrainPerCls, cfg.TestPerCls = 5, 2
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Train.Data {
+		if a.Train.Data[i] != b.Train.Data[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	cfg.Seed++
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.Train.Data {
+		if a.Train.Data[i] == c.Train.Data[i] {
+			same++
+		}
+	}
+	if same == len(a.Train.Data) {
+		t.Fatal("different seed produced identical data")
+	}
+}
+
+func TestLabelsBalancedAndInterleaved(t *testing.T) {
+	ds, err := Generate(Config{Name: "t", Classes: 3, TrainPerCls: 4, TestPerCls: 2, Noise: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, y := range ds.TrainY {
+		counts[y]++
+	}
+	for cls := 0; cls < 3; cls++ {
+		if counts[cls] != 4 {
+			t.Fatalf("class %d has %d samples, want 4", cls, counts[cls])
+		}
+	}
+	// Interleaving: the first three labels cover all classes.
+	if ds.TrainY[0] == ds.TrainY[1] && ds.TrainY[1] == ds.TrainY[2] {
+		t.Fatal("labels not interleaved")
+	}
+}
+
+func TestClassesAreDistinguishable(t *testing.T) {
+	// Per-class pixel means must differ between classes and stay stable
+	// within a class: nearest-centroid classification beats chance easily.
+	ds, err := Generate(Config{Name: "t", Classes: 4, TrainPerCls: 30, TestPerCls: 15, Noise: 0.08, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feat := ds.Train.FeatureLen()
+	centroids := make([][]float64, 4)
+	for cls := range centroids {
+		centroids[cls] = make([]float64, feat)
+	}
+	counts := make([]int, 4)
+	for n := 0; n < ds.Train.N; n++ {
+		cls := ds.TrainY[n]
+		counts[cls]++
+		for i := 0; i < feat; i++ {
+			centroids[cls][i] += ds.Train.Data[n*feat+i]
+		}
+	}
+	for cls := range centroids {
+		for i := range centroids[cls] {
+			centroids[cls][i] /= float64(counts[cls])
+		}
+	}
+	correct := 0
+	for n := 0; n < ds.Test.N; n++ {
+		best, bestDist := -1, math.Inf(1)
+		for cls := range centroids {
+			var d float64
+			for i := 0; i < feat; i++ {
+				diff := ds.Test.Data[n*feat+i] - centroids[cls][i]
+				d += diff * diff
+			}
+			if d < bestDist {
+				best, bestDist = cls, d
+			}
+		}
+		if best == ds.TestY[n] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(ds.Test.N)
+	if acc < 0.5 {
+		t.Fatalf("nearest-centroid accuracy %.2f, want ≥ 0.5 (chance = 0.25)", acc)
+	}
+}
+
+func TestDefaultConfigs(t *testing.T) {
+	img := SynthImageNetConfig()
+	cif := SynthCIFARConfig()
+	if img.Classes <= cif.Classes {
+		t.Fatal("the ImageNet substitute must have more classes")
+	}
+	if img.Seed == cif.Seed {
+		t.Fatal("datasets must draw independent prototype families")
+	}
+}
+
+func TestPrototypeJitterVariesSamples(t *testing.T) {
+	rng := stats.NewRNG(1)
+	p := drawPrototype(rng)
+	a := make([]float64, Channels*Height*Width)
+	b := make([]float64, Channels*Height*Width)
+	p.render(a, rng, 0.0)
+	p.render(b, rng, 0.0)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("two samples of the same class are identical (no jitter)")
+	}
+}

@@ -1,0 +1,32 @@
+package dnn
+
+import (
+	"testing"
+
+	"optima/internal/stats"
+)
+
+func BenchmarkVGG16SForward(b *testing.B) {
+	rng := stats.NewRNG(1)
+	net, err := NewZooModel("VGG16S", 3, 12, 12, 20, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randomTensor(rng, 1, 3, 12, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	rng := stats.NewRNG(2)
+	conv := NewConv2D("c", 8, 16, 3, rng)
+	x := randomTensor(rng, 4, 8, 12, 12)
+	out := conv.Forward(x, true)
+	grad := out.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Backward(grad)
+	}
+}

@@ -1,0 +1,108 @@
+package dnn
+
+import (
+	"fmt"
+
+	"optima/internal/stats"
+)
+
+// The model zoo provides scaled counterparts of the paper's four networks.
+// The suffix "S" marks the scaled variants: same structural families
+// (VGG-style plain stacks vs. ResNet-style residual stacks, a shallower and
+// a deeper member of each), sized for the synthetic datasets so the full
+// FLOAT32 → INT4 → in-memory-multiplier protocol runs in CPU-only Go.
+//
+// Architecture summary for inputs C×12×12:
+//
+//	VGG16S:    2×[conv8]  – pool – 2×[conv16] – pool – 2×[conv24] – dense
+//	VGG19S:    VGG16S with a third convolution per block
+//	ResNet50S: stem conv8 – res8 – res16 – res32 – GAP – dense
+//	ResNet101S: stem conv8 – 2×res8 – 2×res16 – 2×res32 – GAP – dense
+//
+// Every convolution is followed by batch-norm + ReLU (folded before
+// quantization), mirroring the production networks' conv-BN-ReLU idiom.
+
+// ZooModels lists the available model names in the paper's Table II order.
+func ZooModels() []string {
+	return []string{"VGG16S", "VGG19S", "ResNet50S", "ResNet101S"}
+}
+
+// NewZooModel constructs a zoo network by name for the given input shape
+// and class count. The RNG drives weight initialization.
+func NewZooModel(name string, inC, inH, inW, classes int, rng *stats.RNG) (*Network, error) {
+	switch name {
+	case "VGG16S":
+		return newVGGS(name, inC, inH, inW, classes, 2, rng), nil
+	case "VGG19S":
+		return newVGGS(name, inC, inH, inW, classes, 3, rng), nil
+	case "ResNet50S":
+		return newResNetS(name, inC, inH, inW, classes, 1, rng), nil
+	case "ResNet101S":
+		return newResNetS(name, inC, inH, inW, classes, 2, rng), nil
+	default:
+		return nil, fmt.Errorf("dnn: unknown zoo model %q", name)
+	}
+}
+
+func newVGGS(name string, inC, inH, inW, classes, convsPerBlock int, rng *stats.RNG) *Network {
+	n := NewNetwork(name, inC, inH, inW)
+	widths := []int{8, 16, 24}
+	c := inC
+	h, w := inH, inW
+	for bi, width := range widths {
+		for ci := 0; ci < convsPerBlock; ci++ {
+			tag := fmt.Sprintf("%s.b%dc%d", name, bi, ci)
+			n.Add(NewConv2D(tag, c, width, 3, rng))
+			n.Add(NewBatchNorm2D(tag+".bn", width))
+			n.Add(NewReLU(tag + ".relu"))
+			c = width
+		}
+		if bi < len(widths)-1 {
+			n.Add(NewMaxPool2(fmt.Sprintf("%s.pool%d", name, bi)))
+			h, w = h/2, w/2
+		}
+	}
+	n.Add(NewGlobalAvgPool(name + ".gap"))
+	n.Add(NewDense(name+".fc", c, classes, rng))
+	_ = h
+	_ = w
+	return n
+}
+
+func newResNetS(name string, inC, inH, inW, classes, blocksPerStage int, rng *stats.RNG) *Network {
+	n := NewNetwork(name, inC, inH, inW)
+	stem := 8
+	n.Add(NewConv2D(name+".stem", inC, stem, 3, rng))
+	n.Add(NewBatchNorm2D(name+".stem.bn", stem))
+	n.Add(NewReLU(name + ".stem.relu"))
+	c := stem
+	widths := []int{8, 16, 32}
+	for si, width := range widths {
+		for b := 0; b < blocksPerStage; b++ {
+			in := c
+			n.Add(NewResidual(fmt.Sprintf("%s.s%db%d", name, si, b), in, width, rng))
+			c = width
+		}
+		if si < len(widths)-1 {
+			n.Add(NewMaxPool2(fmt.Sprintf("%s.pool%d", name, si)))
+		}
+	}
+	n.Add(NewGlobalAvgPool(name + ".gap"))
+	n.Add(NewDense(name+".fc", c, classes, rng))
+	return n
+}
+
+// ReplaceHead swaps the final dense layer for a fresh one with the given
+// class count — the paper's CIFAR-10 transfer-learning step ("the last
+// layer is replaced with a fully-connected layer containing 10 neurons").
+func (n *Network) ReplaceHead(classes int, rng *stats.RNG) error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("dnn: empty network")
+	}
+	last, ok := n.Layers[len(n.Layers)-1].(*Dense)
+	if !ok {
+		return fmt.Errorf("dnn: final layer %s is not dense", n.Layers[len(n.Layers)-1].Name())
+	}
+	n.Layers[len(n.Layers)-1] = NewDense(last.Name()+".transfer", last.In, classes, rng)
+	return nil
+}

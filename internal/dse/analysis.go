@@ -1,0 +1,185 @@
+package dse
+
+import (
+	"math"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/mult"
+	"optima/internal/spice"
+	"optima/internal/stats"
+)
+
+// ResultProfile is the Fig. 8 (left) analysis: average error and analog
+// standard deviation as functions of the expected result, for one corner.
+type ResultProfile struct {
+	Config mult.Config
+	// Expected lists the distinct products a·d in ascending order.
+	Expected []int
+	// AvgError[i] is the mean expected |error| in LSBs over the input pairs
+	// whose product is Expected[i].
+	AvgError []float64
+	// SigmaLSB[i] is the RMS analog standard deviation in LSBs over the
+	// same pairs.
+	SigmaLSB []float64
+}
+
+// ProfileByResult computes the per-expected-result error and σ profile of a
+// corner at the given condition (paper Fig. 8, left).
+func ProfileByResult(model *core.Model, cfg mult.Config, cond device.PVT) (ResultProfile, error) {
+	b, err := mult.NewBehavioral(model, cfg, cond)
+	if err != nil {
+		return ResultProfile{}, err
+	}
+	type acc struct {
+		err   stats.Accumulator
+		sigSq stats.Accumulator
+	}
+	groups := make(map[int]*acc)
+	for a := uint(0); a <= mult.OperandMax; a++ {
+		for d := uint(0); d <= mult.OperandMax; d++ {
+			r, err := b.Multiply(a, d, nil)
+			if err != nil {
+				return ResultProfile{}, err
+			}
+			g := groups[r.Expected]
+			if g == nil {
+				g = &acc{}
+				groups[r.Expected] = g
+			}
+			sigma := math.Hypot(r.Sigma, b.ADCSigma)
+			g.err.Add(expectedAbsError(r.VComb-b.OffsetVolt, sigma, b.LSBVolt, r.Expected))
+			g.sigSq.Add(r.Sigma * r.Sigma)
+		}
+	}
+	prof := ResultProfile{Config: cfg}
+	for k := 0; k <= mult.ProductMax; k++ {
+		g, ok := groups[k]
+		if !ok {
+			continue
+		}
+		prof.Expected = append(prof.Expected, k)
+		prof.AvgError = append(prof.AvgError, g.err.Mean())
+		prof.SigmaLSB = append(prof.SigmaLSB, math.Sqrt(g.sigSq.Mean())/b.LSBVolt)
+	}
+	return prof, nil
+}
+
+// ConditionSweep is the Fig. 8 (right) analysis: average error of a corner
+// as a function of supply voltage or temperature.
+type ConditionSweep struct {
+	Config mult.Config
+	// X holds the swept variable values (VDD [V] or temperature [°C]).
+	X []float64
+	// AvgError[i] is ϵ_mul at X[i].
+	AvgError []float64
+	// AvgEnergy[i] is E_mul [J] at X[i].
+	AvgEnergy []float64
+}
+
+// SweepVDD evaluates ϵ_mul over a supply range at nominal temperature
+// (paper Fig. 8 right, top).
+func SweepVDD(model *core.Model, cfg mult.Config, vdds []float64) (ConditionSweep, error) {
+	out := ConditionSweep{Config: cfg}
+	for _, vdd := range vdds {
+		cond := device.PVT{Corner: device.CornerTT, VDD: vdd, TempC: device.NominalTempC}
+		met, err := Evaluate(model, cfg, cond)
+		if err != nil {
+			return ConditionSweep{}, err
+		}
+		out.X = append(out.X, vdd)
+		out.AvgError = append(out.AvgError, met.EpsMul)
+		out.AvgEnergy = append(out.AvgEnergy, met.EMul)
+	}
+	return out, nil
+}
+
+// SweepTemp evaluates ϵ_mul over a temperature range at nominal supply
+// (paper Fig. 8 right, bottom).
+func SweepTemp(model *core.Model, cfg mult.Config, temps []float64) (ConditionSweep, error) {
+	out := ConditionSweep{Config: cfg}
+	for _, tc := range temps {
+		cond := device.PVT{Corner: device.CornerTT, VDD: device.NominalVDD, TempC: tc}
+		met, err := Evaluate(model, cfg, cond)
+		if err != nil {
+			return ConditionSweep{}, err
+		}
+		out.X = append(out.X, tc)
+		out.AvgError = append(out.AvgError, met.EpsMul)
+		out.AvgEnergy = append(out.AvgEnergy, met.EMul)
+	}
+	return out, nil
+}
+
+// MCValidation cross-checks the analytic expected-error metric with
+// Monte-Carlo sampling (per-operation mismatch and readout noise), returning
+// the sampled ϵ_mul. Used by tests and the MC speed-up benchmark.
+func MCValidation(model *core.Model, cfg mult.Config, cond device.PVT, samples int, seed uint64) (float64, error) {
+	b, err := mult.NewBehavioral(model, cfg, cond)
+	if err != nil {
+		return 0, err
+	}
+	rng := stats.NewRNG(seed)
+	var acc stats.Accumulator
+	for s := 0; s < samples; s++ {
+		for a := uint(0); a <= mult.OperandMax; a++ {
+			for d := uint(0); d <= mult.OperandMax; d++ {
+				r, err := b.Multiply(a, d, rng)
+				if err != nil {
+					return 0, err
+				}
+				e := r.ErrorLSB()
+				if e < 0 {
+					e = -e
+				}
+				acc.Add(float64(e))
+			}
+		}
+	}
+	return acc.Mean(), nil
+}
+
+// CornerCheck quantifies the global-process-corner sensitivity of one
+// configuration using the golden backend (the behavioral model, like the
+// paper's, carries process variation only statistically via Eq. 6 — global
+// FF/SS shifts are outside its domain, which is exactly what this check
+// measures). For each corner it runs the full golden input space and
+// reports the mean |error| in LSBs of the TT-trimmed readout.
+type CornerCheck struct {
+	Config  mult.Config
+	Corners []device.ProcessCorner
+	// AvgError[i] is the golden mean |error| at Corners[i] [LSB].
+	AvgError []float64
+	// Transients counts golden simulations run.
+	Transients int
+}
+
+// GoldenCornerCheck runs the corner sensitivity analysis. It is golden-
+// simulation bound (≈1500 transients for three corners).
+func GoldenCornerCheck(tech device.Tech, cfg mult.Config, scfg spice.Config) (CornerCheck, error) {
+	out := CornerCheck{Config: cfg, Corners: device.Corners()}
+	for _, corner := range out.Corners {
+		cond := device.PVT{Corner: corner, VDD: device.NominalVDD, TempC: device.NominalTempC}
+		g, err := mult.NewGolden(tech, cfg, cond, scfg)
+		if err != nil {
+			return CornerCheck{}, err
+		}
+		var acc stats.Accumulator
+		for a := uint(0); a <= mult.OperandMax; a++ {
+			for d := uint(0); d <= mult.OperandMax; d++ {
+				r, err := g.Multiply(a, d)
+				if err != nil {
+					return CornerCheck{}, err
+				}
+				e := r.ErrorLSB()
+				if e < 0 {
+					e = -e
+				}
+				acc.Add(float64(e))
+			}
+		}
+		out.AvgError = append(out.AvgError, acc.Mean())
+		out.Transients += g.Transients
+	}
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package dse
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/mult"
+	"optima/internal/spice"
+)
+
+var (
+	fixtureOnce  sync.Once
+	fixtureModel *core.Model
+	fixtureErr   error
+)
+
+func testModel(t *testing.T) *core.Model {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureModel, fixtureErr = core.Calibrate(core.QuickCalibration())
+	})
+	if fixtureErr != nil {
+		t.Fatalf("calibration fixture: %v", fixtureErr)
+	}
+	return fixtureModel
+}
+
+func TestDefaultGridHas48Corners(t *testing.T) {
+	cfgs := DefaultGrid().Configs()
+	if len(cfgs) != 48 {
+		t.Fatalf("grid has %d corners, want 48", len(cfgs))
+	}
+	seen := map[mult.Config]bool{}
+	for _, c := range cfgs {
+		if seen[c] {
+			t.Fatalf("duplicate corner %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestGridSkipsInvalidCombos(t *testing.T) {
+	g := Grid{Tau0s: []float64{1e-10}, VDAC0s: []float64{0.8}, VDACFSs: []float64{0.7}}
+	if got := len(g.Configs()); got != 0 {
+		t.Fatalf("invalid combos kept: %d", got)
+	}
+}
+
+func TestEvaluateMetricsSanity(t *testing.T) {
+	m := testModel(t)
+	met, err := Evaluate(m, mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}, device.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.EpsMul <= 0 || met.EpsMul > 20 {
+		t.Fatalf("ϵ = %g outside plausible range", met.EpsMul)
+	}
+	if met.EMul < 20e-15 || met.EMul > 200e-15 {
+		t.Fatalf("E = %g J outside plausible range", met.EMul)
+	}
+	if met.SigmaMaxLSB <= 0 || met.SigmaMaxVolt <= 0 || met.LSBVolt <= 0 {
+		t.Fatal("σ/LSB fields not populated")
+	}
+	if met.FOM() <= 0 {
+		t.Fatal("FOM must be positive")
+	}
+	// ϵ̄ decomposes into the small/large means (128 pairs in each half is
+	// not exact — the split is by product value — but both must contribute).
+	if met.EpsSmall <= 0 || met.EpsLarge <= 0 {
+		t.Fatal("split errors not populated")
+	}
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	m := testModel(t)
+	grid := Grid{
+		Tau0s:   []float64{0.16e-9, 0.24e-9},
+		VDAC0s:  []float64{0.3, 0.4},
+		VDACFSs: []float64{0.7, 1.0},
+	}
+	a, err := Sweep(m, grid, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(m, grid, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 8 || len(b) != 8 {
+		t.Fatalf("sweep lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].EpsMul != b[i].EpsMul || a[i].EMul != b[i].EMul {
+			t.Fatalf("sweep not deterministic at corner %d", i)
+		}
+	}
+}
+
+func TestSelectRules(t *testing.T) {
+	m := testModel(t)
+	mets, err := Sweep(m, DefaultGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := Select(mets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The power corner minimizes energy over the whole sweep.
+	for _, met := range mets {
+		if met.EMul < sel.Power.EMul {
+			t.Fatalf("power corner not minimal: %v has %g < %g", met.Config, met.EMul, sel.Power.EMul)
+		}
+		if met.FOM() > sel.FOM.FOM() {
+			t.Fatalf("FOM corner not maximal")
+		}
+	}
+	// The paper's power corner: smallest τ0, lowest V_DAC,0 and full scale.
+	want := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 0.7}
+	if sel.Power.Config != want {
+		t.Errorf("power corner = %v, want %v (paper Table I)", sel.Power.Config, want)
+	}
+	// The fom corner should sit at V_DAC,0 = 0.3 V with full scale 1.0 V
+	// (paper Table I); τ0 may differ by one grid step on our substrate.
+	if sel.FOM.Config.VDAC0 != 0.3 || sel.FOM.Config.VDACFS != 1.0 {
+		t.Errorf("fom corner = %v, want V_DAC,0=0.3, FS=1.0", sel.FOM.Config)
+	}
+	// The variation corner must trade small-operand accuracy for robustness
+	// at large operands (the paper's Fig. 8 story).
+	if sel.Variation.EpsSmall <= sel.Variation.EpsLarge {
+		t.Errorf("variation corner lacks the small-operand penalty: small %g, large %g",
+			sel.Variation.EpsSmall, sel.Variation.EpsLarge)
+	}
+	if _, err := Select(nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	m := testModel(t)
+	mets, err := Sweep(m, DefaultGrid(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(mets)
+	if len(front) == 0 || len(front) > len(mets) {
+		t.Fatalf("front size %d", len(front))
+	}
+	// Sorted by energy and mutually non-dominating.
+	for i := 1; i < len(front); i++ {
+		if front[i].EMul < front[i-1].EMul {
+			t.Fatal("front not sorted by energy")
+		}
+		if front[i].EpsMul >= front[i-1].EpsMul {
+			t.Fatal("front member dominated by its neighbor")
+		}
+	}
+	// No swept corner dominates a front member.
+	for _, f := range front {
+		for _, m := range mets {
+			if m.EpsMul < f.EpsMul && m.EMul < f.EMul {
+				t.Fatalf("front member %v dominated by %v", f.Config, m.Config)
+			}
+		}
+	}
+}
+
+func TestExpectedAbsErrorAnalytic(t *testing.T) {
+	// Zero noise: plain quantization error.
+	if got := expectedAbsError(10.4, 0, 1, 10); got != 0 {
+		t.Fatalf("σ=0 rounding: %g, want 0", got)
+	}
+	if got := expectedAbsError(10.6, 0, 1, 10); got != 1 {
+		t.Fatalf("σ=0 rounding: %g, want 1", got)
+	}
+	// Large noise: E|X−k| for X ~ N(k, σ) quantized ≈ σ·√(2/π).
+	sigma := 5.0
+	got := expectedAbsError(100, sigma, 1, 100)
+	want := sigma * math.Sqrt(2/math.Pi)
+	if math.Abs(got-want) > 0.1*want {
+		t.Fatalf("Gaussian mean abs = %g, want ≈%g", got, want)
+	}
+	// Clamping at zero: mean below range floor.
+	got = expectedAbsError(-3, 0.5, 1, 0)
+	if got > 0.05 {
+		t.Fatalf("clamped-to-zero error %g, want ≈0", got)
+	}
+}
+
+func TestMCValidationMatchesAnalytic(t *testing.T) {
+	m := testModel(t)
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+	met, err := Evaluate(m, cfg, device.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MCValidation(m, cfg, device.Nominal(), 6, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc-met.EpsMul) > 0.35*met.EpsMul {
+		t.Fatalf("MC ϵ̄ %g vs analytic %g disagree by >35%%", mc, met.EpsMul)
+	}
+}
+
+func TestProfileByResult(t *testing.T) {
+	m := testModel(t)
+	prof, err := ProfileByResult(m, mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}, device.Nominal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Expected) == 0 || len(prof.Expected) != len(prof.AvgError) || len(prof.Expected) != len(prof.SigmaLSB) {
+		t.Fatal("profile slices inconsistent")
+	}
+	// Expected values are the distinct products of 4-bit operands.
+	if prof.Expected[0] != 0 || prof.Expected[len(prof.Expected)-1] != 225 {
+		t.Fatalf("expected range [%d, %d]", prof.Expected[0], prof.Expected[len(prof.Expected)-1])
+	}
+	// σ must grow with the expected result (deeper discharges).
+	first, last := prof.SigmaLSB[1], prof.SigmaLSB[len(prof.SigmaLSB)-1]
+	if last <= first {
+		t.Fatalf("σ profile not increasing: %g → %g", first, last)
+	}
+}
+
+func TestConditionSweeps(t *testing.T) {
+	m := testModel(t)
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+	vdd, err := SweepVDD(m, cfg, []float64{0.9, 1.0, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vdd.X) != 3 {
+		t.Fatal("VDD sweep size")
+	}
+	// Error at nominal must be the smallest (the trim is nominal-calibrated).
+	if vdd.AvgError[1] > vdd.AvgError[0] || vdd.AvgError[1] > vdd.AvgError[2] {
+		t.Fatalf("VDD sweep errors %v: nominal not minimal", vdd.AvgError)
+	}
+	tmp, err := SweepTemp(m, cfg, []float64{0, 27, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmp.X) != 3 {
+		t.Fatal("temperature sweep size")
+	}
+	for _, e := range tmp.AvgError {
+		if e <= 0 || math.IsNaN(e) {
+			t.Fatalf("temperature sweep error %g invalid", e)
+		}
+	}
+}
+
+func TestGoldenCornerCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden-simulation bound")
+	}
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+	check, err := GoldenCornerCheck(core.QuickCalibration().Tech, cfg, spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(check.Corners) != 3 || len(check.AvgError) != 3 {
+		t.Fatalf("corner check incomplete: %+v", check)
+	}
+	// TT (index 0) uses the matching trim: it must be the most accurate.
+	if check.AvgError[0] > check.AvgError[1] || check.AvgError[0] > check.AvgError[2] {
+		t.Errorf("TT error %.2f not the smallest: FF %.2f, SS %.2f",
+			check.AvgError[0], check.AvgError[1], check.AvgError[2])
+	}
+	if check.Transients == 0 {
+		t.Fatal("no transients counted")
+	}
+}

@@ -1,0 +1,259 @@
+package events
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleRunsInTimeOrder(t *testing.T) {
+	sim := NewSimulator()
+	var order []int
+	mustSchedule(t, sim, 30*Picosecond, func() { order = append(order, 3) })
+	mustSchedule(t, sim, 10*Picosecond, func() { order = append(order, 1) })
+	mustSchedule(t, sim, 20*Picosecond, func() { order = append(order, 2) })
+	sim.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if sim.Now() != 30*Picosecond {
+		t.Fatalf("clock = %v, want 30 ps", sim.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	sim := NewSimulator()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		mustSchedule(t, sim, Nanosecond, func() { order = append(order, i) })
+	}
+	sim.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	sim := NewSimulator()
+	fired := false
+	ev := mustSchedule(t, sim, Picosecond, func() { fired = true })
+	ev.Cancel()
+	sim.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if sim.EventsFired() != 0 {
+		t.Fatalf("EventsFired = %d, want 0", sim.EventsFired())
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	sim := NewSimulator()
+	var times []Time
+	mustSchedule(t, sim, 10*Picosecond, func() {
+		times = append(times, sim.Now())
+		if _, err := sim.Schedule(5*Picosecond, func() {
+			times = append(times, sim.Now())
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+	sim.Run()
+	if len(times) != 2 || times[0] != 10*Picosecond || times[1] != 15*Picosecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulePastRejected(t *testing.T) {
+	sim := NewSimulator()
+	mustSchedule(t, sim, 10*Picosecond, func() {
+		if _, err := sim.At(5*Picosecond, func() {}); !errors.Is(err, ErrPast) {
+			t.Errorf("err = %v, want ErrPast", err)
+		}
+	})
+	sim.Run()
+	if _, err := sim.Schedule(-1, func() {}); !errors.Is(err, ErrPast) {
+		t.Fatalf("negative delay: err = %v, want ErrPast", err)
+	}
+	if _, err := sim.Schedule(1, nil); err == nil {
+		t.Fatal("nil function accepted")
+	}
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	sim := NewSimulator()
+	var fired []Time
+	for _, at := range []Time{Picosecond, 2 * Picosecond, 5 * Picosecond} {
+		at := at
+		if _, err := sim.At(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.RunUntil(3 * Picosecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want first two", fired)
+	}
+	if sim.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", sim.Pending())
+	}
+	sim.Run()
+	if len(fired) != 3 {
+		t.Fatalf("remaining event did not fire: %v", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	sim := NewSimulator()
+	count := 0
+	mustSchedule(t, sim, Picosecond, func() {
+		count++
+		sim.Stop()
+	})
+	mustSchedule(t, sim, 2*Picosecond, func() { count++ })
+	sim.Run()
+	if count != 1 {
+		t.Fatalf("count = %d, want 1 (stopped)", count)
+	}
+}
+
+func TestReset(t *testing.T) {
+	sim := NewSimulator()
+	mustSchedule(t, sim, Picosecond, func() {})
+	sim.Run()
+	sim.Reset()
+	if sim.Now() != 0 || sim.Pending() != 0 || sim.EventsFired() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1e-9) != Nanosecond {
+		t.Fatalf("FromSeconds(1ns) = %v", FromSeconds(1e-9))
+	}
+	if Nanosecond.Seconds() != 1e-9 {
+		t.Fatalf("Seconds = %g", Nanosecond.Seconds())
+	}
+	for _, tt := range []Time{500 * Femtosecond, 3 * Picosecond, 2 * Nanosecond} {
+		if tt.String() == "" {
+			t.Fatal("empty time string")
+		}
+	}
+}
+
+func TestSignalWatchAndTrace(t *testing.T) {
+	sim := NewSimulator()
+	sig := NewSignal(sim, "bl", 1.0)
+	var changes int
+	sig.Watch(func(old, new float64) {
+		changes++
+		if old == new {
+			t.Error("watcher called without a change")
+		}
+	})
+	trace := sig.EnableTrace()
+	mustSchedule(t, sim, Picosecond, func() { sig.Set(0.8) })
+	mustSchedule(t, sim, 2*Picosecond, func() { sig.Set(0.8) }) // no-op
+	mustSchedule(t, sim, 3*Picosecond, func() { sig.Set(0.5) })
+	sim.Run()
+	if changes != 2 {
+		t.Fatalf("changes = %d, want 2", changes)
+	}
+	if trace.Len() != 3 { // initial + 2 changes
+		t.Fatalf("trace length = %d, want 3", trace.Len())
+	}
+	if got := trace.ValueAt(2 * Picosecond); got != 0.8 {
+		t.Fatalf("ValueAt(2ps) = %g, want 0.8", got)
+	}
+	if got := trace.ValueAt(10 * Picosecond); got != 0.5 {
+		t.Fatalf("ValueAt(10ps) = %g, want 0.5", got)
+	}
+	if sig.LastEdge() != 3*Picosecond {
+		t.Fatalf("LastEdge = %v", sig.LastEdge())
+	}
+	if sig.Name() != "bl" {
+		t.Fatal("name lost")
+	}
+}
+
+// Property: N events with arbitrary delays always fire in non-decreasing
+// time order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		sim := NewSimulator()
+		var fired []Time
+		for _, d := range delays {
+			if _, err := sim.Schedule(Time(d)*Femtosecond, func() {
+				fired = append(fired, sim.Now())
+			}); err != nil {
+				return false
+			}
+		}
+		sim.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustSchedule(t *testing.T, sim *Simulator, delay Time, fn func()) *Event {
+	t.Helper()
+	ev, err := sim.Schedule(delay, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestVCDExport(t *testing.T) {
+	sim := NewSimulator()
+	sig := NewSignal(sim, "bl voltage", 1.0)
+	trace := sig.EnableTrace()
+	mustSchedule(t, sim, Picosecond, func() { sig.Set(0.8) })
+	mustSchedule(t, sim, 3*Picosecond, func() { sig.Set(0.5) })
+	sim.Run()
+
+	var w VCDWriter
+	if err := w.AddSignal(sig.Name(), trace); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := w.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, needle := range []string{"$timescale 1fs $end", "bl_voltage", "#1000", "#3000", "r0.8", "r0.5"} {
+		if !strings.Contains(out, needle) {
+			t.Fatalf("VCD missing %q:\n%s", needle, out)
+		}
+	}
+	if err := w.AddSignal("broken", nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,92 @@
+package events
+
+// Signal is an analog-valued net in the event-based simulation: a float64
+// value with change timestamps and optional watchers, mirroring the
+// value-change semantics of an HDL real-valued signal.
+type Signal struct {
+	sim      *Simulator
+	name     string
+	value    float64
+	lastEdge Time
+	watchers []func(old, new float64)
+	trace    *Trace
+}
+
+// NewSignal creates a named signal with an initial value on the simulator.
+func NewSignal(sim *Simulator, name string, initial float64) *Signal {
+	return &Signal{sim: sim, name: name, value: initial}
+}
+
+// Name returns the signal's name.
+func (s *Signal) Name() string { return s.name }
+
+// Value returns the current value.
+func (s *Signal) Value() float64 { return s.value }
+
+// LastEdge returns the time of the most recent value change.
+func (s *Signal) LastEdge() Time { return s.lastEdge }
+
+// Set assigns a new value at the current simulation time, notifying
+// watchers and the trace if the value changed.
+func (s *Signal) Set(v float64) {
+	if v == s.value {
+		return
+	}
+	old := s.value
+	s.value = v
+	s.lastEdge = s.sim.Now()
+	if s.trace != nil {
+		s.trace.record(s.lastEdge, v)
+	}
+	for _, w := range s.watchers {
+		w(old, v)
+	}
+}
+
+// Watch registers a callback invoked on every value change.
+func (s *Signal) Watch(fn func(old, new float64)) {
+	s.watchers = append(s.watchers, fn)
+}
+
+// EnableTrace starts recording (time, value) pairs, including the current
+// value as the first point, and returns the trace.
+func (s *Signal) EnableTrace() *Trace {
+	s.trace = &Trace{}
+	s.trace.record(s.sim.Now(), s.value)
+	return s.trace
+}
+
+// Trace is a recorded value-change history of one signal.
+type Trace struct {
+	Times  []Time
+	Values []float64
+}
+
+func (t *Trace) record(at Time, v float64) {
+	t.Times = append(t.Times, at)
+	t.Values = append(t.Values, v)
+}
+
+// Len returns the number of recorded changes.
+func (t *Trace) Len() int { return len(t.Times) }
+
+// ValueAt returns the signal value in effect at time at (the most recent
+// change not after at), or the first recorded value for earlier times.
+func (t *Trace) ValueAt(at Time) float64 {
+	if len(t.Times) == 0 {
+		return 0
+	}
+	lo, hi := 0, len(t.Times)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.Times[mid] <= at {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return t.Values[0]
+	}
+	return t.Values[lo-1]
+}

@@ -1,0 +1,88 @@
+package events
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// VCDWriter dumps recorded signal traces as a Value Change Dump file —
+// the standard waveform interchange format of digital EDA tools, viewable
+// in GTKWave and friends. Analog signals are emitted as real variables.
+type VCDWriter struct {
+	signals []vcdSignal
+}
+
+type vcdSignal struct {
+	name  string
+	trace *Trace
+	id    string
+}
+
+// AddSignal registers a traced signal for dumping. The signal must have
+// tracing enabled (EnableTrace) before the simulation ran.
+func (w *VCDWriter) AddSignal(name string, trace *Trace) error {
+	if trace == nil {
+		return fmt.Errorf("events: signal %q has no trace", name)
+	}
+	w.signals = append(w.signals, vcdSignal{name: name, trace: trace, id: vcdID(len(w.signals))})
+	return nil
+}
+
+// vcdID produces the short identifier code for variable n.
+func vcdID(n int) string {
+	const alphabet = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	if n < len(alphabet) {
+		return string(alphabet[n])
+	}
+	return string(alphabet[n%len(alphabet)]) + vcdID(n/len(alphabet)-1)
+}
+
+// Write emits the VCD document. The timescale is 1 fs (the kernel's tick).
+func (w *VCDWriter) Write(out io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "$date %s $end\n", time.Time{}.Format("2006-01-02"))
+	b.WriteString("$version optima-go events trace $end\n")
+	b.WriteString("$timescale 1fs $end\n")
+	b.WriteString("$scope module optima $end\n")
+	for _, s := range w.signals {
+		fmt.Fprintf(&b, "$var real 64 %s %s $end\n", s.id, sanitizeVCDName(s.name))
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	// Merge all change events in time order.
+	type change struct {
+		at  Time
+		id  string
+		val float64
+	}
+	var changes []change
+	for _, s := range w.signals {
+		for i := range s.trace.Times {
+			changes = append(changes, change{at: s.trace.Times[i], id: s.id, val: s.trace.Values[i]})
+		}
+	}
+	sort.SliceStable(changes, func(i, j int) bool { return changes[i].at < changes[j].at })
+	last := Time(-1)
+	for _, c := range changes {
+		if c.at != last {
+			fmt.Fprintf(&b, "#%d\n", int64(c.at))
+			last = c.at
+		}
+		fmt.Fprintf(&b, "r%g %s\n", c.val, c.id)
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+// sanitizeVCDName replaces whitespace, which VCD identifiers cannot carry.
+func sanitizeVCDName(name string) string {
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, name)
+}

@@ -1,0 +1,75 @@
+// Package exp is the experiment harness: one runner per table and figure
+// of the paper's evaluation, each returning report artifacts (tables and
+// charts) plus the measured values needed for paper-vs-measured
+// comparisons. The cmd tools, the root-level benchmarks, and the
+// experiment tests all call into this package so every reproduction number
+// has exactly one source of truth.
+package exp
+
+import (
+	"fmt"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/dse"
+	"optima/internal/spice"
+)
+
+// Context carries the calibrated OPTIMA model and the shared settings of
+// an experiment session.
+type Context struct {
+	Model   *core.Model
+	Tech    device.Tech
+	Spice   spice.Config
+	Workers int
+
+	selection    *dse.Selection
+	sweepMetrics []dse.Metrics
+}
+
+// NewContext calibrates a model with the given recipe and returns a ready
+// experiment context.
+func NewContext(calib core.CalibrationConfig) (*Context, error) {
+	model, err := core.Calibrate(calib)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+	return &Context{
+		Model: model,
+		Tech:  calib.Tech,
+		Spice: calib.Spice,
+	}, nil
+}
+
+// NewContextWithModel wraps a pre-calibrated model (e.g. loaded from JSON).
+func NewContextWithModel(model *core.Model, tech device.Tech) *Context {
+	return &Context{Model: model, Tech: tech, Spice: spice.DefaultConfig()}
+}
+
+// Sweep returns the cached 48-corner DSE sweep, running it on first use.
+func (c *Context) Sweep() ([]dse.Metrics, error) {
+	if c.sweepMetrics == nil {
+		mets, err := dse.Sweep(c.Model, dse.DefaultGrid(), c.Workers)
+		if err != nil {
+			return nil, err
+		}
+		c.sweepMetrics = mets
+	}
+	return c.sweepMetrics, nil
+}
+
+// Selection returns the cached corner selection (fom/power/variation).
+func (c *Context) Selection() (dse.Selection, error) {
+	if c.selection == nil {
+		mets, err := c.Sweep()
+		if err != nil {
+			return dse.Selection{}, err
+		}
+		sel, err := dse.Select(mets)
+		if err != nil {
+			return dse.Selection{}, err
+		}
+		c.selection = &sel
+	}
+	return *c.selection, nil
+}

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/refdata"
+	"optima/internal/report"
+	"optima/internal/spice"
+	"optima/internal/stats"
+)
+
+// Fig1 reproduces the state-of-the-art design-space comparison (paper
+// Fig. 1) from the published design points.
+func Fig1() (*report.Table, *report.Chart) {
+	t := report.NewTable("Fig. 1 — State-of-the-art in-SRAM multiplication design space",
+		"ref", "design", "venue", "energy [pJ]", "clock [MHz]", "bit width", "flavor")
+	var c report.Chart
+	c.Title = "Fig. 1 — Energy vs bit width of published in-SRAM multipliers"
+	c.XLabel = "bit width [bits]"
+	c.YLabel = "energy per op [pJ]"
+	for _, p := range refdata.Figure1() {
+		t.AddRow(p.Ref, p.Name, p.Venue, p.EnergyPJ, p.ClockMHz, p.BitWidth, p.Flavor)
+		// One point per design (rendered as single-point series for a legend).
+		if err := c.AddSeries(fmt.Sprintf("%s %s", p.Ref, p.Name),
+			[]float64{float64(p.BitWidth)}, []float64{p.EnergyPJ}); err != nil {
+			// Unreachable: equal-length slices by construction.
+			panic(err)
+		}
+	}
+	return t, &c
+}
+
+// Fig4Data holds the golden discharge non-ideality curves (paper Fig. 4).
+type Fig4Data struct {
+	// TimeCurves: V_BLB(t) per word-line voltage, with the velocity-
+	// saturation boundary marked per curve.
+	TimeChart *report.Chart
+	// VWLCurve: V_BLB(τ0) as a function of V_WL (the nonlinearity the DAC
+	// inherits).
+	VWLChart *report.Chart
+	// SubVtDischarge is the discharge at V_WL at the '0'-code voltage after
+	// 2 ns — the asymmetry of Section III-1 [V].
+	SubVtDischarge float64
+}
+
+// Fig4 runs the golden transients behind the paper's Fig. 4.
+func (c *Context) Fig4() (*Fig4Data, error) {
+	out := &Fig4Data{}
+	cond := device.Nominal()
+	timeChart := &report.Chart{
+		Title:  "Fig. 4a — BLB discharge over time (golden simulation)",
+		XLabel: "t [ns]", YLabel: "V_BL [V]",
+	}
+	const tMax = 2e-9
+	for _, vwl := range []float64{0.4, 0.55, 0.7, 0.85, 1.0} {
+		dp := spice.NewDischargePath(c.Tech, vwl, cond)
+		res, err := dp.Discharge(tMax, c.Spice, 0.05e-9)
+		if err != nil {
+			return nil, fmt.Errorf("exp: fig4 vwl=%.2f: %w", vwl, err)
+		}
+		wf := res.Waveform
+		xs := make([]float64, wf.Len())
+		ys := make([]float64, wf.Len())
+		for i := range wf.T {
+			xs[i] = wf.T[i] * 1e9
+			ys[i] = wf.V[i][0]
+		}
+		if err := timeChart.AddSeries(fmt.Sprintf("V_WL=%.2f V", vwl), xs, ys); err != nil {
+			return nil, err
+		}
+	}
+	out.TimeChart = timeChart
+
+	vwlChart := &report.Chart{
+		Title:  "Fig. 4b — V_BL at t = τ0 versus word-line voltage (golden)",
+		XLabel: "V_WL [V]", YLabel: "V_BL [V]",
+	}
+	const tau0 = 1.6e-9 // the paper's Fig. 4b sampling instant
+	var xs, ys []float64
+	for _, vwl := range stats.Linspace(0.4, 1.0, 25) {
+		dp := spice.NewDischargePath(c.Tech, vwl, cond)
+		res, err := dp.Discharge(tau0, c.Spice, 0)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, vwl)
+		ys = append(ys, res.Waveform.Final()[0])
+	}
+	if err := vwlChart.AddSeries("V_BL(τ0)", xs, ys); err != nil {
+		return nil, err
+	}
+	out.VWLChart = vwlChart
+
+	// The '0'-code asymmetry: discharge with V_WL = 0.3 V (a DAC zero).
+	dp := spice.NewDischargePath(c.Tech, 0.3, cond)
+	res, err := dp.Discharge(2e-9, c.Spice, 0)
+	if err != nil {
+		return nil, err
+	}
+	out.SubVtDischarge = cond.VDD - res.Waveform.Final()[0]
+	return out, nil
+}
+
+// Fig5Data holds the PVT-variation discharge curves (paper Fig. 5).
+type Fig5Data struct {
+	SupplyChart   *report.Chart
+	TempChart     *report.Chart
+	CornerChart   *report.Chart
+	MismatchChart *report.Chart
+	// MismatchSpreadMV is the ±3σ band of ΔV_BL at t = 2 ns over the
+	// Monte-Carlo population [mV] (paper Fig. 5d shows ≈ −10…+20 mV).
+	MismatchSpreadMV float64
+}
+
+// Fig5 runs the golden PVT sweeps behind the paper's Fig. 5. mcSamples
+// controls the mismatch population (the paper uses 1000).
+func (c *Context) Fig5(mcSamples int) (*Fig5Data, error) {
+	out := &Fig5Data{}
+	const tMax = 2e-9
+	const vwl = 1.0
+	curve := func(cond device.PVT, vwlEff float64) ([]float64, []float64, error) {
+		dp := spice.NewDischargePath(c.Tech, vwlEff, cond)
+		res, err := dp.Discharge(tMax, c.Spice, 0.05e-9)
+		if err != nil {
+			return nil, nil, err
+		}
+		wf := res.Waveform
+		xs := make([]float64, wf.Len())
+		ys := make([]float64, wf.Len())
+		for i := range wf.T {
+			xs[i] = wf.T[i] * 1e9
+			ys[i] = wf.V[i][0]
+		}
+		return xs, ys, nil
+	}
+
+	out.SupplyChart = &report.Chart{Title: "Fig. 5a — Supply voltage", XLabel: "t [ns]", YLabel: "V_BL [V]"}
+	for _, vdd := range []float64{0.9, 1.0, 1.1} {
+		cond := device.PVT{Corner: device.CornerTT, VDD: vdd, TempC: device.NominalTempC}
+		xs, ys, err := curve(cond, core.SupplyScaledVWL(vwl, vdd))
+		if err != nil {
+			return nil, err
+		}
+		if err := out.SupplyChart.AddSeries(fmt.Sprintf("VDD=%.1f V", vdd), xs, ys); err != nil {
+			return nil, err
+		}
+	}
+
+	out.TempChart = &report.Chart{Title: "Fig. 5b — Temperature", XLabel: "t [ns]", YLabel: "V_BL [V]"}
+	for _, tc := range []float64{0, 27, 60} {
+		cond := device.PVT{Corner: device.CornerTT, VDD: device.NominalVDD, TempC: tc}
+		xs, ys, err := curve(cond, vwl)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.TempChart.AddSeries(fmt.Sprintf("T=%.0f °C", tc), xs, ys); err != nil {
+			return nil, err
+		}
+	}
+
+	out.CornerChart = &report.Chart{Title: "Fig. 5c — Process corners", XLabel: "t [ns]", YLabel: "V_BL [V]"}
+	for _, corner := range device.Corners() {
+		cond := device.PVT{Corner: corner, VDD: device.NominalVDD, TempC: device.NominalTempC}
+		xs, ys, err := curve(cond, vwl)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.CornerChart.AddSeries(corner.String(), xs, ys); err != nil {
+			return nil, err
+		}
+	}
+
+	// Fig. 5d: mismatch deviations ΔV_BL(t) for a Monte-Carlo population.
+	if mcSamples <= 0 {
+		mcSamples = 1000
+	}
+	out.MismatchChart = &report.Chart{Title: fmt.Sprintf("Fig. 5d — Mismatch (%d samples)", mcSamples), XLabel: "t [ns]", YLabel: "ΔV_BL [mV]"}
+	cond := device.Nominal()
+	nominal := spice.NewDischargePath(c.Tech, vwl, cond)
+	nomRes, err := nominal.Discharge(tMax, c.Spice, 0.1e-9)
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(0xf165d)
+	var finalAcc stats.Accumulator
+	plotted := 0
+	for s := 0; s < mcSamples; s++ {
+		dp := spice.NewDischargePath(c.Tech, vwl, cond)
+		dp.SampleMismatch(rng)
+		res, err := dp.Discharge(tMax, c.Spice, 0.1e-9)
+		if err != nil {
+			return nil, err
+		}
+		final := res.Waveform.Final()[0] - nomRes.Waveform.Final()[0]
+		finalAcc.Add(final)
+		// Plot a subsample of trajectories; statistics use all of them.
+		if plotted < 40 {
+			wf := res.Waveform
+			xs := make([]float64, wf.Len())
+			ys := make([]float64, wf.Len())
+			for i := range wf.T {
+				xs[i] = wf.T[i] * 1e9
+				ys[i] = (wf.V[i][0] - nomRes.Waveform.NodeAt(0, wf.T[i])) * 1e3
+			}
+			if err := out.MismatchChart.AddSeries("", xs, ys); err != nil {
+				return nil, err
+			}
+			plotted++
+		}
+	}
+	out.MismatchSpreadMV = 3 * finalAcc.StdDev() * 1e3
+	return out, nil
+}

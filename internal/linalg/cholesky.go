@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky holds the lower-triangular factor L of a symmetric
+// positive-definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Matrix
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive-definite matrix a. Only the lower triangle of a is read.
+// It returns ErrSingular if a is not positive definite to working precision.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("linalg: Cholesky of %d×%d: %w", a.Rows(), a.Cols(), ErrShape)
+	}
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("linalg: non-positive pivot %g at %d: %w", d, j, ErrSingular)
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns a copy of the lower-triangular factor.
+func (c *Cholesky) L() *Matrix { return c.l.Clone() }
+
+// Solve solves A·x = b given the factorization A = L·Lᵀ.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	n := c.l.Rows()
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: Cholesky solve rhs length %d, want %d: %w", len(b), n, ErrShape)
+	}
+	// Forward substitution L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves the symmetric positive-definite system a·x = b.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorCholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// NormalEquations assembles AᵀA and Aᵀb for the least-squares system, which
+// is occasionally preferable to QR for very tall, well-conditioned design
+// matrices (single pass, small memory).
+func NormalEquations(a *Matrix, b []float64) (*Matrix, []float64, error) {
+	m, n := a.Rows(), a.Cols()
+	if len(b) != m {
+		return nil, nil, fmt.Errorf("linalg: normal equations rhs length %d, want %d: %w", len(b), m, ErrShape)
+	}
+	ata := NewMatrix(n, n)
+	atb := make([]float64, n)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = a.At(i, j)
+		}
+		for j := 0; j < n; j++ {
+			if row[j] == 0 {
+				continue
+			}
+			for k := j; k < n; k++ {
+				ata.Add(j, k, row[j]*row[k])
+			}
+			atb[j] += row[j] * b[i]
+		}
+	}
+	// Mirror the upper triangle into the lower.
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			ata.Set(k, j, ata.At(j, k))
+		}
+	}
+	return ata, atb, nil
+}

@@ -1,0 +1,259 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewMatrixZeroInitialized(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %d×%d, want 3×4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %g, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 0×3 matrix")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 42.5)
+	m.Add(1, 2, 0.5)
+	if got := m.At(1, 2); got != 43 {
+		t.Fatalf("At(1,2) = %g, want 43", got)
+	}
+}
+
+func TestAtOutOfBoundsPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-bounds access")
+		}
+	}()
+	m.At(2, 0)
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %g, want 3", m.At(1, 0))
+	}
+	if _, err := NewMatrixFromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("ragged rows: err = %v, want ErrShape", err)
+	}
+	if _, err := NewMatrixFromRows(nil); !errors.Is(err, ErrShape) {
+		t.Fatalf("empty rows: err = %v, want ErrShape", err)
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	i := Identity(2)
+	got, err := a.Mul(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 2; c++ {
+			if got.At(r, c) != a.At(r, c) {
+				t.Errorf("A·I differs at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestMulKnownProduct(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b, _ := NewMatrixFromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{58, 64}, {139, 154}}
+	for r := range want {
+		for c := range want[r] {
+			if got.At(r, c) != want[r][c] {
+				t.Errorf("(%d,%d) = %g, want %g", r, c, got.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestMulShapeMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	got, err := a.MulVec([]float64{5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 17 || got[1] != 39 {
+		t.Fatalf("A·x = %v, want [17 39]", got)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tt := a.T().T()
+	if !matricesEqual(a, tt) {
+		t.Fatal("transpose twice is not identity")
+	}
+}
+
+func matricesEqual(a, b *Matrix) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.At(i, j) != b.At(i, j) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	sum, err := a.AddMatrix(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := sum.Sub(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matricesEqual(a, back) {
+		t.Fatal("a + b − b != a")
+	}
+}
+
+func TestScale(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, -2}})
+	a.Scale(-3)
+	if a.At(0, 0) != -3 || a.At(0, 1) != 6 {
+		t.Fatalf("scale: got %v", a.Row(0))
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	r := a.Row(0)
+	r[0] = 99
+	if a.At(0, 0) == 99 {
+		t.Fatal("Row returned a live reference, want copy")
+	}
+	c := a.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1) = %v, want [2 4]", c)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	// Norm2 must not overflow for large entries.
+	big := 1e200
+	got := Norm2([]float64{big, big})
+	want := big * math.Sqrt2
+	if !almostEq(got, want, 1e-12) {
+		t.Fatalf("Norm2 = %g, want %g", got, want)
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) != 0")
+	}
+}
+
+func TestDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestFrobeniusAndMaxAbs(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{3, -4}})
+	if got := a.FrobeniusNorm(); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Frobenius = %g, want 5", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %g, want 4", got)
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random small matrices.
+func TestTransposeProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := pseudoRand(uint64(seed))
+		a := randomMatrix(r, 3, 4)
+		b := randomMatrix(r, 4, 2)
+		ab, _ := a.Mul(b)
+		left := ab.T()
+		right, _ := b.T().Mul(a.T())
+		for i := 0; i < left.Rows(); i++ {
+			for j := 0; j < left.Cols(); j++ {
+				if !almostEq(left.At(i, j), right.At(i, j), 1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// pseudoRand is a tiny deterministic generator for property tests.
+type lcg struct{ state uint64 }
+
+func pseudoRand(seed uint64) *lcg { return &lcg{state: seed*2862933555777941757 + 3037000493} }
+
+func (l *lcg) next() float64 {
+	l.state = l.state*6364136223846793005 + 1442695040888963407
+	return float64(l.state>>11)/float64(1<<53)*2 - 1
+}
+
+func randomMatrix(r *lcg, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, r.next())
+		}
+	}
+	return m
+}

@@ -1,0 +1,472 @@
+// Package mult implements the paper's case study (Section V): a 4-bit ×
+// 4-bit discharge-based in-SRAM multiplier after IMAC [8].
+//
+// One operand (d) is stored as a 4-bit word across four columns of the SRAM
+// array; the other (a) is applied to the shared word line through a 4-bit
+// DAC. The four bit-line-bars discharge for τ0, 2τ0, 4τ0 and 8τ0
+// respectively (time-domain bit weighting), are sampled onto equal
+// capacitors, charge-shared, and the combined voltage is quantized by an
+// ADC whose full scale is calibrated to the (15,15) product.
+//
+// Two interchangeable backends compute the same operation:
+//
+//   - Behavioral: OPTIMA's calibrated models evaluated on the discrete-event
+//     kernel (fast — this is the paper's contribution).
+//   - Golden: transistor-level transient simulation per bit line (slow —
+//     the reference the speed-up is measured against).
+package mult
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/events"
+	"optima/internal/spice"
+	"optima/internal/sram"
+	"optima/internal/stats"
+)
+
+// Operand and result ranges of the 4×4-bit multiplier.
+const (
+	OperandBits = 4
+	OperandMax  = 1<<OperandBits - 1      // 15
+	ProductMax  = OperandMax * OperandMax // 225
+	ADCBits     = 8
+	ADCMax      = 1<<ADCBits - 1 // 255
+)
+
+// Peripheral parameters of the readout chain. The word-line DAC charges an
+// effective load (row gates, wire, DAC switching) to V(a) from the rail each
+// cycle; the SAR ADC burns a fixed conversion energy; the sampling network
+// and comparator contribute a fixed input-referred noise (kT/C on the
+// sampling caps plus comparator noise). These are per-operation constants —
+// the reason low-swing corners pay a relatively larger accuracy price and
+// the energy gap between full-scale settings narrows (paper Table I).
+const (
+	DefaultDACCap     = 40e-15 // effective DAC/word-line load [F]
+	DefaultADCEnergy  = 7e-15  // per-conversion ADC energy [J]
+	DefaultCtrlEnergy = 18e-15 // sequencing: precharge drivers, timing, control [J]
+	DefaultADCSigma   = 0.4e-3 // sampling + comparator input noise [V]
+)
+
+// Config is one multiplier design point: the three explored circuit
+// parameters of the paper's design space.
+type Config struct {
+	Tau0   float64 // discharge time of the least-significant BLB [s]
+	VDAC0  float64 // DAC output voltage for input code 0 [V]
+	VDACFS float64 // DAC full-scale output voltage (code 15) [V]
+}
+
+// String formats the corner like the paper's Table I rows.
+func (c Config) String() string {
+	return fmt.Sprintf("τ0=%.2f ns, VDAC0=%.1f V, VDACFS=%.1f V", c.Tau0*1e9, c.VDAC0, c.VDACFS)
+}
+
+// Validate checks that the configuration is physically meaningful.
+func (c Config) Validate() error {
+	if c.Tau0 <= 0 {
+		return fmt.Errorf("mult: non-positive tau0 %g", c.Tau0)
+	}
+	if !(c.VDACFS > c.VDAC0) {
+		return fmt.Errorf("mult: VDACFS %g must exceed VDAC0 %g", c.VDACFS, c.VDAC0)
+	}
+	if c.VDAC0 < 0 {
+		return fmt.Errorf("mult: negative VDAC0 %g", c.VDAC0)
+	}
+	return nil
+}
+
+// DACVoltage returns the word-line voltage for input code a at the given
+// supply (the DAC output tracks supply excursions with the same partial
+// sensitivity as in the calibration sweeps).
+func (c Config) DACVoltage(a uint, vdd float64) float64 {
+	nominal := c.VDAC0 + float64(a)*(c.VDACFS-c.VDAC0)/float64(OperandMax)
+	return core.SupplyScaledVWL(nominal, vdd)
+}
+
+// BitTime returns the discharge duration of bit-line i: 2^i · τ0.
+func (c Config) BitTime(i int) float64 {
+	return float64(uint(1)<<uint(i)) * c.Tau0
+}
+
+// MaxTime returns the longest discharge duration (MSB line).
+func (c Config) MaxTime() float64 { return c.BitTime(OperandBits - 1) }
+
+// Result is the outcome of one in-SRAM multiplication.
+type Result struct {
+	A, D     uint                 // operands
+	Expected int                  // ideal product a·d
+	Code     int                  // ADC output code (product estimate in ADC LSBs)
+	VComb    float64              // combined (charge-shared) discharge voltage [V]
+	Sigma    float64              // analytic mismatch std of VComb [V] (behavioral only)
+	Energy   float64              // multiplication energy (bit-line recharge) [J]
+	DeltaV   [OperandBits]float64 // per-bit-line discharge at sampling [V]
+}
+
+// ErrorLSB returns the signed multiplication error in ADC LSBs.
+func (r Result) ErrorLSB() int { return r.Code - r.Expected }
+
+// Behavioral is the fast OPTIMA-model backend. It is calibrated once per
+// configuration with a best-fit ADC trim: gain and offset are the least-
+// squares line through the nominal-condition transfer over the full input
+// space (the standard INL-minimizing calibration of a production ADC),
+// so the convex device transfer leaves sign-balanced residuals instead of
+// a one-sided mid-code bias.
+type Behavioral struct {
+	Model *core.Model
+	Cfg   Config
+	Cond  device.PVT
+	// LSBVolt is the calibrated ADC step (best-fit gain) [V].
+	LSBVolt float64
+	// OffsetVolt is the calibrated ADC zero offset [V].
+	OffsetVolt float64
+	// UseEvents selects event-kernel evaluation (the paper's flow) versus
+	// direct model calls (ablation of the DES abstraction).
+	UseEvents bool
+	// ADCSigma is the Gaussian sampling/comparator input-referred noise [V]
+	// (0 = ideal readout; applied only when an RNG is supplied).
+	ADCSigma float64
+	// DACCap, ADCEnergy and CtrlEnergy set the peripheral energy accounting
+	// (see DefaultDACCap / DefaultADCEnergy / DefaultCtrlEnergy).
+	DACCap     float64
+	ADCEnergy  float64
+	CtrlEnergy float64
+	// DAC optionally replaces the linear code-to-voltage mapping with a
+	// trimmed nonlinear DAC (see CalibrateNonlinearDAC).
+	DAC *NonlinearDAC
+}
+
+// ErrScale is returned when a configuration produces no usable full-scale
+// discharge (the ADC cannot be calibrated).
+var ErrScale = errors.New("mult: degenerate full-scale discharge")
+
+// NewBehavioral builds the behavioral multiplier for a configuration at the
+// given operating condition and calibrates its ADC full scale at nominal.
+func NewBehavioral(model *core.Model, cfg Config, cond device.PVT) (*Behavioral, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Behavioral{
+		Model: model, Cfg: cfg, Cond: cond,
+		UseEvents:  true,
+		ADCSigma:   DefaultADCSigma,
+		DACCap:     DefaultDACCap,
+		ADCEnergy:  DefaultADCEnergy,
+		CtrlEnergy: DefaultCtrlEnergy,
+	}
+	nominal := device.Nominal()
+	gain, offset, err := fitADCTrim(func(a, d uint) float64 {
+		return b.combinedDeltaV(a, d, nominal, nil)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mult: config %v: %w", cfg, err)
+	}
+	b.LSBVolt = gain
+	b.OffsetVolt = offset
+	return b, nil
+}
+
+// fitADCTrim fits the zero-anchored least-squares gain ΔV ≈ gain·(a·d)
+// over the full 16×16 input space of the deterministic transfer. The zero
+// anchor keeps zero products exactly representable (essential for DNN
+// workloads, where zero activations dominate); the gain minimizes the
+// integral nonlinearity over the remaining codes.
+func fitADCTrim(deltaV func(a, d uint) float64) (gain, offset float64, err error) {
+	var sumXX, sumXY float64
+	for a := uint(0); a <= OperandMax; a++ {
+		for d := uint(0); d <= OperandMax; d++ {
+			x := float64(a * d)
+			y := deltaV(a, d)
+			sumXX += x * x
+			sumXY += x * y
+		}
+	}
+	if sumXX == 0 {
+		return 0, 0, ErrScale
+	}
+	gain = sumXY / sumXX
+	if gain <= 0 {
+		return 0, 0, ErrScale
+	}
+	return gain, 0, nil
+}
+
+// peripheralEnergy returns the per-operation DAC + ADC + sequencing energy
+// for input a.
+func (b *Behavioral) peripheralEnergy(a uint) float64 {
+	vwl := b.wordLineVoltage(a, b.Cond.VDD)
+	return b.DACCap*b.Cond.VDD*vwl + b.ADCEnergy + b.CtrlEnergy
+}
+
+// combinedDeltaV computes the charge-shared discharge for operands (a, d) at
+// condition cond; rng enables per-discharge mismatch sampling.
+func (b *Behavioral) combinedDeltaV(a, d uint, cond device.PVT, rng *stats.RNG) float64 {
+	vwl := b.wordLineVoltage(a, cond.VDD)
+	var sum float64
+	for i := 0; i < OperandBits; i++ {
+		if d&(1<<uint(i)) == 0 {
+			continue
+		}
+		t := b.Cfg.BitTime(i)
+		var vbl float64
+		if rng != nil {
+			vbl = b.Model.Discharge.SampleVBL(t, vwl, cond.VDD, cond.TempC, rng)
+		} else {
+			vbl = b.Model.Discharge.VBL(t, vwl, cond.VDD, cond.TempC)
+		}
+		dv := cond.VDD - vbl
+		if dv < 0 {
+			dv = 0
+		}
+		sum += dv
+	}
+	return sum / OperandBits
+}
+
+// Multiply performs one multiplication. A nil rng gives the deterministic
+// (mismatch-free) result; a non-nil rng samples fresh mismatch per
+// discharge, following the paper's Monte-Carlo procedure.
+func (b *Behavioral) Multiply(a, d uint, rng *stats.RNG) (Result, error) {
+	if a > OperandMax || d > OperandMax {
+		return Result{}, fmt.Errorf("mult: operands (%d,%d) exceed %d bits", a, d, OperandBits)
+	}
+	if b.UseEvents {
+		return b.multiplyEvents(a, d, rng)
+	}
+	return b.multiplyDirect(a, d, rng), nil
+}
+
+// multiplyDirect evaluates the models without the event kernel.
+func (b *Behavioral) multiplyDirect(a, d uint, rng *stats.RNG) Result {
+	res := Result{A: a, D: d, Expected: int(a * d)}
+	vwl := b.wordLineVoltage(a, b.Cond.VDD)
+	var sum, varSum float64
+	for i := 0; i < OperandBits; i++ {
+		if d&(1<<uint(i)) == 0 {
+			continue
+		}
+		t := b.Cfg.BitTime(i)
+		var vbl float64
+		if rng != nil {
+			vbl = b.Model.Discharge.SampleVBL(t, vwl, b.Cond.VDD, b.Cond.TempC, rng)
+		} else {
+			vbl = b.Model.Discharge.VBL(t, vwl, b.Cond.VDD, b.Cond.TempC)
+		}
+		dv := b.Cond.VDD - vbl
+		if dv < 0 {
+			dv = 0
+		}
+		res.DeltaV[i] = dv
+		sum += dv
+		sig := b.Model.Discharge.SigmaAt(t, vwl)
+		varSum += sig * sig
+		res.Energy += b.Model.Energy.DischargeEnergy(true, b.Cond.VDD, dv, b.Cond.TempC)
+	}
+	res.VComb = sum / OperandBits
+	res.Sigma = math.Sqrt(varSum) / OperandBits
+	res.Code = b.quantize(res.VComb, rng)
+	res.Energy += b.peripheralEnergy(a)
+	return res
+}
+
+// multiplyEvents runs the multiplication sequence on the discrete-event
+// kernel: word-line assertion at t=0, per-bit sampling events at 2^i·τ0,
+// and a final combine/ADC event — the paper's "event-based fashion, akin to
+// digital simulation tools".
+func (b *Behavioral) multiplyEvents(a, d uint, rng *stats.RNG) (Result, error) {
+	res := Result{A: a, D: d, Expected: int(a * d)}
+	sim := events.NewSimulator()
+	vwlSig := events.NewSignal(sim, "wl", 0)
+	vwl := b.wordLineVoltage(a, b.Cond.VDD)
+
+	// t = 0: precharge released, word line driven to the DAC output.
+	if _, err := sim.Schedule(0, func() { vwlSig.Set(vwl) }); err != nil {
+		return Result{}, err
+	}
+	var sum, varSum float64
+	for i := 0; i < OperandBits; i++ {
+		i := i
+		bit := d&(1<<uint(i)) != 0
+		t := b.Cfg.BitTime(i)
+		// Sampling switch of bit line i opens at 2^i·τ0.
+		if _, err := sim.Schedule(events.FromSeconds(t), func() {
+			if !bit {
+				return
+			}
+			var vbl float64
+			if rng != nil {
+				vbl = b.Model.Discharge.SampleVBL(t, vwlSig.Value(), b.Cond.VDD, b.Cond.TempC, rng)
+			} else {
+				vbl = b.Model.Discharge.VBL(t, vwlSig.Value(), b.Cond.VDD, b.Cond.TempC)
+			}
+			dv := b.Cond.VDD - vbl
+			if dv < 0 {
+				dv = 0
+			}
+			res.DeltaV[i] = dv
+			sum += dv
+			sig := b.Model.Discharge.SigmaAt(t, vwlSig.Value())
+			varSum += sig * sig
+			res.Energy += b.Model.Energy.DischargeEnergy(true, b.Cond.VDD, dv, b.Cond.TempC)
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+	// Combine and quantize after the last sampling event.
+	if _, err := sim.Schedule(events.FromSeconds(b.Cfg.MaxTime())+events.Picosecond, func() {
+		res.VComb = sum / OperandBits
+		res.Sigma = math.Sqrt(varSum) / OperandBits
+		res.Code = b.quantize(res.VComb, rng)
+		res.Energy += b.peripheralEnergy(a)
+	}); err != nil {
+		return Result{}, err
+	}
+	sim.Run()
+	return res, nil
+}
+
+// quantize maps a combined discharge voltage to an ADC code using the
+// calibrated gain and offset, with optional ADC input noise.
+func (b *Behavioral) quantize(vcomb float64, rng *stats.RNG) int {
+	v := vcomb
+	if rng != nil && b.ADCSigma > 0 {
+		v = rng.Gaussian(v, b.ADCSigma)
+	}
+	code := int(math.Round((v - b.OffsetVolt) / b.LSBVolt))
+	if code < 0 {
+		code = 0
+	}
+	if code > ADCMax {
+		code = ADCMax
+	}
+	return code
+}
+
+// WriteEnergy returns the modeled energy of storing the d operand
+// (a full 4-bit word write) at the multiplier's condition, via Eq. 7.
+func (b *Behavioral) WriteEnergy() float64 {
+	return b.Model.Energy.WriteEnergy(b.Cond.VDD, b.Cond.TempC)
+}
+
+// Golden is the transistor-level reference backend: every set bit of d
+// becomes a transient simulation of the discharge stack. It quantizes with
+// the same full-scale calibration approach as the behavioral backend
+// (anchored at its own nominal (15,15) golden discharge).
+type Golden struct {
+	Tech       device.Tech
+	Cfg        Config
+	Cond       device.PVT
+	Spice      spice.Config
+	LSBVolt    float64
+	OffsetVolt float64
+	// Cells carries per-column mismatch state (zero value = matched).
+	Cells [OperandBits]sram.Cell
+	// Transients counts golden simulations run (speed-up accounting).
+	Transients int
+}
+
+// NewGolden builds the golden multiplier and calibrates its best-fit ADC
+// trim from sixteen nominal transients (one per input code; each waveform
+// provides all four bit sampling times, since the columns share the word
+// line).
+func NewGolden(tech device.Tech, cfg Config, cond device.PVT, scfg spice.Config) (*Golden, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Golden{Tech: tech, Cfg: cfg, Cond: cond, Spice: scfg}
+	nominal := device.Nominal()
+	// One transient per input code a; ΔV of bit i sampled at 2^i·τ0.
+	var dv [OperandMax + 1][OperandBits]float64
+	for a := uint(0); a <= OperandMax; a++ {
+		vwl := cfg.DACVoltage(a, nominal.VDD)
+		dp := spice.NewDischargePath(tech, vwl, nominal)
+		res, err := dp.Discharge(cfg.MaxTime(), scfg, 0)
+		if err != nil {
+			return nil, fmt.Errorf("mult: golden trim calibration: %w", err)
+		}
+		g.Transients++
+		for i := 0; i < OperandBits; i++ {
+			d := nominal.VDD - res.Waveform.NodeAt(0, cfg.BitTime(i))
+			if d < 0 {
+				d = 0
+			}
+			dv[a][i] = d
+		}
+	}
+	gain, offset, err := fitADCTrim(func(a, d uint) float64 {
+		var sum float64
+		for i := 0; i < OperandBits; i++ {
+			if d&(1<<uint(i)) != 0 {
+				sum += dv[a][i]
+			}
+		}
+		return sum / OperandBits
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mult: config %v: %w", cfg, err)
+	}
+	g.LSBVolt = gain
+	g.OffsetVolt = offset
+	return g, nil
+}
+
+// SampleMismatch draws fresh mismatch for all four columns' cells.
+func (g *Golden) SampleMismatch(rng device.Gaussianer) {
+	for i := range g.Cells {
+		g.Cells[i].SampleMismatch(g.Tech, rng)
+	}
+}
+
+// ClearMismatch restores matched cells.
+func (g *Golden) ClearMismatch() {
+	for i := range g.Cells {
+		g.Cells[i] = sram.Cell{Bit: g.Cells[i].Bit}
+	}
+}
+
+// Multiply performs one golden multiplication. Columns whose d-bit is set
+// are simulated for their bit time; the mismatch state of each column's
+// cell applies.
+func (g *Golden) Multiply(a, d uint) (Result, error) {
+	if a > OperandMax || d > OperandMax {
+		return Result{}, fmt.Errorf("mult: operands (%d,%d) exceed %d bits", a, d, OperandBits)
+	}
+	res := Result{A: a, D: d, Expected: int(a * d)}
+	vwl := g.Cfg.DACVoltage(a, g.Cond.VDD)
+	var sum float64
+	for i := 0; i < OperandBits; i++ {
+		if d&(1<<uint(i)) == 0 {
+			continue
+		}
+		dp := g.Cells[i].DischargePath(g.Tech, vwl, g.Cond)
+		tr, err := dp.Discharge(g.Cfg.BitTime(i), g.Spice, 0)
+		if err != nil {
+			return Result{}, fmt.Errorf("mult: golden bit %d: %w", i, err)
+		}
+		g.Transients++
+		dv := g.Cond.VDD - tr.Waveform.Final()[0]
+		if dv < 0 {
+			dv = 0
+		}
+		res.DeltaV[i] = dv
+		sum += dv
+		// Recharge energy of this bit line (same physical definition the
+		// energy model was calibrated against).
+		res.Energy += spice.DefaultCBL * g.Cond.VDD * dv
+	}
+	res.VComb = sum / OperandBits
+	code := int(math.Round((res.VComb - g.OffsetVolt) / g.LSBVolt))
+	if code < 0 {
+		code = 0
+	}
+	if code > ADCMax {
+		code = ADCMax
+	}
+	res.Code = code
+	// Same peripheral accounting as the behavioral backend.
+	res.Energy += DefaultDACCap*g.Cond.VDD*vwl + DefaultADCEnergy + DefaultCtrlEnergy
+	return res, nil
+}

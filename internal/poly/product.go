@@ -1,0 +1,137 @@
+package poly
+
+import (
+	"fmt"
+	"math"
+
+	"optima/internal/linalg"
+)
+
+// SampleN is one observation of an n-variable function z = f(x_1, …, x_n).
+type SampleN struct {
+	Xs []float64
+	Z  float64
+}
+
+// Product is the rank-1 n-factor model f(x_1,…,x_n) = Π_k P_k(x_k),
+// the generalization of Separable used by the paper's Eq. 8
+// (E_dc = p1(VDD)·p3(ΔV_BL)·p1(T)).
+type Product struct {
+	Factors []Polynomial
+}
+
+// Eval evaluates the product model; len(xs) must match the factor count.
+func (p Product) Eval(xs ...float64) float64 {
+	if len(xs) != len(p.Factors) {
+		panic(fmt.Sprintf("poly: product eval with %d args, want %d", len(xs), len(p.Factors)))
+	}
+	out := 1.0
+	for k, f := range p.Factors {
+		out *= f.Eval(xs[k])
+	}
+	return out
+}
+
+// FitProduct fits the rank-1 n-factor product of the given degrees by
+// cyclic alternating least squares: each factor in turn is refitted with
+// the others held fixed (a linear problem). Iteration stops when the RMS
+// residual improvement falls below tol, or after maxIter sweeps.
+func FitProduct(samples []SampleN, degrees []int, maxIter int, tol float64) (Product, float64, error) {
+	n := len(degrees)
+	if n == 0 {
+		return Product{}, 0, fmt.Errorf("poly: product fit with no factors: %w", ErrFit)
+	}
+	var params int
+	for _, d := range degrees {
+		params += d + 1
+	}
+	if len(samples) < params {
+		return Product{}, 0, fmt.Errorf("poly: %d samples for product fit with %d parameters: %w", len(samples), params, ErrFit)
+	}
+	for _, s := range samples {
+		if len(s.Xs) != n {
+			return Product{}, 0, fmt.Errorf("poly: sample has %d coordinates, want %d: %w", len(s.Xs), n, ErrFit)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 60
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	// Initialize every factor to the constant 1 except the one with the
+	// highest degree, which absorbs the initial magnitude via a marginal fit.
+	p := Product{Factors: make([]Polynomial, n)}
+	lead := 0
+	for k, d := range degrees {
+		p.Factors[k] = New(1)
+		if d > degrees[lead] {
+			lead = k
+		}
+	}
+	xs := make([]float64, len(samples))
+	zs := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i] = s.Xs[lead]
+		zs[i] = s.Z
+	}
+	f0, _, err := Fit(xs, zs, degrees[lead])
+	if err != nil {
+		return Product{}, 0, err
+	}
+	p.Factors[lead] = f0
+
+	prev := math.Inf(1)
+	var rms float64
+	for iter := 0; iter < maxIter; iter++ {
+		for k := 0; k < n; k++ {
+			// Weight of sample i contributed by all other factors.
+			a := linalg.NewMatrix(len(samples), degrees[k]+1)
+			b := make([]float64, len(samples))
+			for i, s := range samples {
+				w := 1.0
+				for j, f := range p.Factors {
+					if j != k {
+						w *= f.Eval(s.Xs[j])
+					}
+				}
+				v := w
+				for d := 0; d <= degrees[k]; d++ {
+					a.Set(i, d, v)
+					v *= s.Xs[k]
+				}
+				b[i] = s.Z
+			}
+			coeffs, _, err := linalg.LeastSquares(a, b)
+			if err != nil {
+				return Product{}, 0, fmt.Errorf("poly: product factor %d: %v: %w", k, err, ErrFit)
+			}
+			p.Factors[k] = Polynomial{Coeffs: coeffs}
+		}
+		rms = productRMS(samples, p)
+		if prev-rms < tol*math.Max(1, prev) {
+			break
+		}
+		prev = rms
+	}
+	// Normalize all but the first factor to unit max-|coeff|.
+	scale := 1.0
+	for k := 1; k < n; k++ {
+		m := maxAbsCoeff(p.Factors[k])
+		if m > 0 {
+			p.Factors[k] = p.Factors[k].Scale(1 / m)
+			scale *= m
+		}
+	}
+	p.Factors[0] = p.Factors[0].Scale(scale)
+	return p, rms, nil
+}
+
+func productRMS(samples []SampleN, p Product) float64 {
+	var ss float64
+	for _, s := range samples {
+		d := p.Eval(s.Xs...) - s.Z
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(samples)))
+}

@@ -1,0 +1,47 @@
+package quant
+
+import (
+	"testing"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/mult"
+	"optima/internal/stats"
+)
+
+func benchLUT(b *testing.B, rng *stats.RNG) *InMemory {
+	b.Helper()
+	model, err := core.Calibrate(core.QuickCalibration())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bm, err := mult.NewBehavioral(model, mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}, device.Nominal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := NewInMemory(bm, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return im
+}
+
+func BenchmarkInMemoryMulDeterministic(b *testing.B) {
+	im := benchLUT(b, nil)
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += im.Mul(uint8(i&15), int8(i%8))
+	}
+	_ = sink
+}
+
+func BenchmarkInMemoryMulSampled(b *testing.B) {
+	im := benchLUT(b, stats.NewRNG(1))
+	b.ResetTimer()
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += im.Mul(uint8(i&15), int8(i%8))
+	}
+	_ = sink
+}

@@ -1,0 +1,29 @@
+package spice
+
+import (
+	"testing"
+
+	"optima/internal/device"
+)
+
+func BenchmarkDischargeTransient(b *testing.B) {
+	tech := device.Generic65()
+	cond := device.Nominal()
+	for i := 0; i < b.N; i++ {
+		dp := NewDischargePath(tech, 0.9, cond)
+		if _, err := dp.Discharge(2e-9, DefaultConfig(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCellWriteTransient(b *testing.B) {
+	tech := device.Generic65()
+	cond := device.Nominal()
+	for i := 0; i < b.N; i++ {
+		cw := NewSRAMCellWrite(tech, 0, cond.VDD, cond)
+		if _, _, err := cw.Write(false, 300e-12, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package sram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optima/internal/device"
+	"optima/internal/spice"
+	"optima/internal/stats"
+)
+
+func TestWordStoreValueRoundTrip(t *testing.T) {
+	var w Word
+	for v := uint(0); v < 16; v++ {
+		if err := w.Store(v); err != nil {
+			t.Fatal(err)
+		}
+		if got := w.Value(); got != v {
+			t.Fatalf("Value = %d, want %d", got, v)
+		}
+	}
+	if err := w.Store(16); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+}
+
+func TestWordBitOrder(t *testing.T) {
+	var w Word
+	if err := w.Store(0b1010); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, true} // little-endian
+	for i, b := range want {
+		if w[i].Bit != b {
+			t.Fatalf("bit %d = %v, want %v", i, w[i].Bit, b)
+		}
+	}
+}
+
+func TestArrayWriteStoresAndCosts(t *testing.T) {
+	a := NewArray(device.Generic65(), 4)
+	cond := device.Nominal()
+	e, err := a.Write(2, 13, cond, spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Words[2].Value(); got != 13 {
+		t.Fatalf("stored %d, want 13", got)
+	}
+	// Dominated by 4 × C_BL·VDD² = 1 pJ; the paper's per-op budget.
+	if e < 0.8e-12 || e > 1.4e-12 {
+		t.Fatalf("write energy %g J outside the ~1 pJ regime", e)
+	}
+	if _, err := a.Write(9, 1, cond, spice.DefaultConfig()); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+}
+
+func TestPrechargeEnergyLinearInSwing(t *testing.T) {
+	a := NewArray(device.Generic65(), 1)
+	cond := device.Nominal()
+	e1 := a.PrechargeEnergy(0.1, cond)
+	e2 := a.PrechargeEnergy(0.2, cond)
+	if math.Abs(e2-2*e1) > 1e-18 {
+		t.Fatalf("precharge energy not linear: %g vs %g", e1, e2)
+	}
+	if a.PrechargeEnergy(-0.5, cond) != 0 {
+		t.Fatal("negative swing must cost nothing")
+	}
+}
+
+func TestWriteEnergyIncreasesWithVDD(t *testing.T) {
+	tech := device.Generic65()
+	low := device.PVT{Corner: device.CornerTT, VDD: 0.9, TempC: 27}
+	high := device.PVT{Corner: device.CornerTT, VDD: 1.1, TempC: 27}
+	eLow, err := WriteEnergy(tech, spice.DefaultCBL, low, spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHigh, err := WriteEnergy(tech, spice.DefaultCBL, high, spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly quadratic: (1.1/0.9)² ≈ 1.49.
+	if ratio := eHigh / eLow; ratio < 1.3 || ratio > 1.7 {
+		t.Fatalf("write energy VDD ratio = %g, want ≈1.5", ratio)
+	}
+}
+
+func TestReadRecoversStoredValue(t *testing.T) {
+	a := NewArray(device.Generic65(), 2)
+	cond := device.Nominal()
+	if _, err := a.Write(0, 9, cond, spice.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Read(0, cond, spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 9 {
+		t.Fatalf("read %d, want 9", res.Value)
+	}
+	if res.Latency <= 0 || res.Latency > 3e-9 {
+		t.Fatalf("read latency %g s implausible", res.Latency)
+	}
+	if res.Energy <= 0 {
+		t.Fatal("read energy must be positive")
+	}
+}
+
+func TestCellMismatchAffectsDischarge(t *testing.T) {
+	tech := device.Generic65()
+	cond := device.Nominal()
+	var cell Cell
+	cell.AccessMM = device.Mismatch{DVth: 0.02}
+	slow := cell.DischargePath(tech, 0.9, cond)
+	var nomCell Cell
+	nominal := nomCell.DischargePath(tech, 0.9, cond)
+	rSlow, err := slow.Discharge(1e-9, spice.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rNom, err := nominal.Discharge(1e-9, spice.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.Waveform.Final()[0] <= rNom.Waveform.Final()[0] {
+		t.Fatal("higher access Vth must slow the discharge")
+	}
+}
+
+func TestHoldSNMPositive(t *testing.T) {
+	snm := HoldSNM(device.Generic65(), device.Nominal())
+	if snm < 0.05 || snm > 0.6 {
+		t.Fatalf("hold SNM %g V outside plausible 6T range", snm)
+	}
+}
+
+func TestHoldSNMDegradesWithSupply(t *testing.T) {
+	tech := device.Generic65()
+	low := HoldSNM(tech, device.PVT{Corner: device.CornerTT, VDD: 0.7, TempC: 27})
+	nom := HoldSNM(tech, device.Nominal())
+	if low >= nom {
+		t.Fatalf("SNM should shrink at low VDD: %g vs %g", low, nom)
+	}
+}
+
+func TestWriteMargin(t *testing.T) {
+	wm, err := WriteMargin(device.Generic65(), device.Nominal(), 300e-12, spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm <= 0.2 || wm >= 1.0 {
+		t.Fatalf("write margin V_WL %g outside (0.2, 1.0)", wm)
+	}
+}
+
+func TestSampleMismatchPopulatesAllCells(t *testing.T) {
+	a := NewArray(device.Generic65(), 3)
+	a.SampleMismatch(stats.NewRNG(5))
+	var zero int
+	for r := range a.Words {
+		for b := range a.Words[r] {
+			if a.Words[r][b].AccessMM == (device.Mismatch{}) {
+				zero++
+			}
+		}
+	}
+	if zero != 0 {
+		t.Fatalf("%d cells left unmismatched", zero)
+	}
+}
+
+// Property: store/value round-trips for every 4-bit value.
+func TestWordRoundTripProperty(t *testing.T) {
+	f := func(v uint8) bool {
+		var w Word
+		val := uint(v) % 16
+		if err := w.Store(val); err != nil {
+			return false
+		}
+		return w.Value() == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeDisturbMarginPositive(t *testing.T) {
+	// Worst case of the paper's design space: V_WL = 1.0 V for 8·0.28 ns.
+	report, err := ComputeDisturbCheck(device.Generic65(), 1.0, 2.24e-9, device.Nominal(), spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MaxBounce <= 0 {
+		t.Fatal("no internal-node bounce recorded")
+	}
+	if report.TripPoint < 0.2 || report.TripPoint > 0.8 {
+		t.Fatalf("trip point %g V implausible", report.TripPoint)
+	}
+	if report.Margin <= 0 {
+		t.Fatalf("compute operation disturbs the cell: bounce %.3f V vs trip %.3f V",
+			report.MaxBounce, report.TripPoint)
+	}
+}
+
+func TestComputeDisturbWorsensWithDrive(t *testing.T) {
+	tech := device.Generic65()
+	low, err := ComputeDisturbCheck(tech, 0.6, 2e-9, device.Nominal(), spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := ComputeDisturbCheck(tech, 1.0, 2e-9, device.Nominal(), spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MaxBounce <= low.MaxBounce {
+		t.Fatalf("stronger word line should bounce the cell node harder: %g vs %g",
+			high.MaxBounce, low.MaxBounce)
+	}
+}

@@ -1,0 +1,275 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	r := NewRNG(3)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.Uniform(2, 6))
+	}
+	if math.Abs(acc.Mean()-4) > 0.02 {
+		t.Fatalf("uniform mean = %g, want ≈4", acc.Mean())
+	}
+	wantVar := 16.0 / 12.0
+	if math.Abs(acc.Variance()-wantVar) > 0.03 {
+		t.Fatalf("uniform variance = %g, want ≈%g", acc.Variance(), wantVar)
+	}
+}
+
+func TestIntNUniformity(t *testing.T) {
+	r := NewRNG(11)
+	counts := make([]int, 5)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.IntN(5)]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/5) > 4*math.Sqrt(n/5) {
+			t.Fatalf("bucket %d count %d deviates from %d", i, c, n/5)
+		}
+	}
+}
+
+func TestIntNPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).IntN(0)
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := NewRNG(5)
+	var acc Accumulator
+	for i := 0; i < 200000; i++ {
+		acc.Add(r.Gaussian(3, 2))
+	}
+	if math.Abs(acc.Mean()-3) > 0.03 {
+		t.Fatalf("gaussian mean = %g, want ≈3", acc.Mean())
+	}
+	if math.Abs(acc.StdDev()-2) > 0.03 {
+		t.Fatalf("gaussian std = %g, want ≈2", acc.StdDev())
+	}
+}
+
+func TestGaussianTailFractions(t *testing.T) {
+	r := NewRNG(9)
+	const n = 200000
+	within1, within2 := 0, 0
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		if math.Abs(v) < 1 {
+			within1++
+		}
+		if math.Abs(v) < 2 {
+			within2++
+		}
+	}
+	if f := float64(within1) / n; math.Abs(f-0.6827) > 0.01 {
+		t.Fatalf("P(|z|<1) = %g, want ≈0.683", f)
+	}
+	if f := float64(within2) / n; math.Abs(f-0.9545) > 0.01 {
+		t.Fatalf("P(|z|<2) = %g, want ≈0.954", f)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitDecorrelated(t *testing.T) {
+	r := NewRNG(23)
+	s := r.Split()
+	matches := 0
+	for i := 0; i < 64; i++ {
+		if r.Uint64() == s.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("%d matches between parent and split stream", matches)
+	}
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("mean = %g, want 5", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Fatalf("variance = %g, want %g", got, 32.0/7.0)
+	}
+}
+
+func TestEmptyInputsAreNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(RMS(nil)) || !math.IsNaN(StdDev([]float64{1})) {
+		t.Fatal("expected NaN for degenerate inputs")
+	}
+}
+
+func TestRMSKnown(t *testing.T) {
+	if got := RMS([]float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("rms = %g", got)
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if got := MeanAbs([]float64{-2, 2}); got != 2 {
+		t.Fatalf("meanAbs = %g, want 2", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 4, 1, 5})
+	if min != -1 || max != 5 {
+		t.Fatalf("minmax = (%g,%g), want (-1,5)", min, max)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %g, want 3", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %g, want 1", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %g, want 5", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q0.25 = %g, want 2", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("expected NaN for empty input")
+	}
+}
+
+func TestAccumulatorMatchesBatch(t *testing.T) {
+	r := NewRNG(31)
+	xs := make([]float64, 1000)
+	var acc Accumulator
+	for i := range xs {
+		xs[i] = r.Gaussian(1, 3)
+		acc.Add(xs[i])
+	}
+	if !almost(acc.Mean(), Mean(xs), 1e-10) {
+		t.Fatalf("acc mean %g vs batch %g", acc.Mean(), Mean(xs))
+	}
+	if !almost(acc.Variance(), Variance(xs), 1e-8) {
+		t.Fatalf("acc var %g vs batch %g", acc.Variance(), Variance(xs))
+	}
+	if !almost(acc.RMS(), RMS(xs), 1e-10) {
+		t.Fatalf("acc rms %g vs batch %g", acc.RMS(), RMS(xs))
+	}
+	min, max := MinMax(xs)
+	if acc.Min() != min || acc.Max() != max {
+		t.Fatal("accumulator min/max mismatch")
+	}
+}
+
+func TestAccumulatorMergeProperty(t *testing.T) {
+	f := func(seed uint64, split uint8) bool {
+		r := NewRNG(seed)
+		n := 200
+		k := int(split)%(n-2) + 1
+		var whole, left, right Accumulator
+		for i := 0; i < n; i++ {
+			v := r.Gaussian(0, 1)
+			whole.Add(v)
+			if i < k {
+				left.Add(v)
+			} else {
+				right.Add(v)
+			}
+		}
+		left.Merge(&right)
+		return almost(left.Mean(), whole.Mean(), 1e-9) &&
+			almost(left.Variance(), whole.Variance(), 1e-9) &&
+			left.N() == whole.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.99, 10, 15} {
+		h.Add(v)
+	}
+	under, over := h.Outliers()
+	if under != 1 || over != 2 {
+		t.Fatalf("outliers = (%d,%d), want (1,2)", under, over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 || h.Counts[2] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total = %d, want 8", h.Total())
+	}
+	if got := h.BinCenter(0); got != 1 {
+		t.Fatalf("bin center = %g, want 1", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almost(got[i], want[i], 1e-12) {
+			t.Fatalf("linspace = %v", got)
+		}
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
