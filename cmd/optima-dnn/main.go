@@ -7,11 +7,13 @@
 //
 // Usage:
 //
-//	optima-dnn [-out dir] [-bench] [-noisy] [-model in.json]
+//	optima-dnn [-out dir] [-bench] [-noisy] [-model in.json] [-workers N] [-backend B]
 //
 // -bench runs the reduced protocol used by the benchmark harness; -noisy
 // samples per-operation mismatch in the multiplier LUT (extension — the
-// tables' protocol uses the deterministic calibrated transfer).
+// tables' protocol uses the deterministic calibrated transfer). -workers
+// bounds the evaluation/training worker pool (0 = all CPUs); -backend
+// selects the corner-selection backend (behavioral or golden).
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"optima/internal/core"
+	"optima/internal/engine"
 	"optima/internal/exp"
 	"optima/internal/report"
 )
@@ -30,15 +33,20 @@ func main() {
 	bench := flag.Bool("bench", false, "run the reduced protocol")
 	noisy := flag.Bool("noisy", false, "sample per-operation mismatch in the multiplier")
 	modelPath := flag.String("model", "", "load a calibrated model instead of recalibrating")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	backend := flag.String("backend", engine.BackendBehavioral, "corner-selection backend: behavioral or golden")
 	flag.Parse()
 
-	if err := run(*outDir, *bench, *noisy, *modelPath); err != nil {
+	if err := run(*outDir, *bench, *noisy, *modelPath, *workers, *backend); err != nil {
 		fmt.Fprintln(os.Stderr, "optima-dnn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, bench, noisy bool, modelPath string) error {
+func run(outDir string, bench, noisy bool, modelPath string, workers int, backend string) error {
+	if err := engine.ValidateBackendName(backend); err != nil {
+		return err
+	}
 	calib := core.DefaultCalibration()
 	var ctx *exp.Context
 	if modelPath != "" {
@@ -56,6 +64,8 @@ func run(outDir string, bench, noisy bool, modelPath string) error {
 		}
 		fmt.Printf("calibrated in %v\n", time.Since(start))
 	}
+	ctx.Workers = workers
+	ctx.Backend = backend
 
 	sel, err := ctx.Selection()
 	if err != nil {

@@ -5,11 +5,16 @@
 // Usage:
 //
 //	optima calibrate [-quick] [-model out.json]
-//	optima figures   [-out dir] [-model in.json] [-mc N]
-//	optima dse       [-out dir] [-model in.json]
-//	optima pvt       [-out dir] [-tau0 ns] [-vdac0 V] [-vdacfs V] [-corners]
+//	optima figures   [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B]
+//	optima dse       [-out dir] [-model in.json] [-workers N] [-backend B]
+//	optima pvt       [-out dir] [-tau0 ns] [-vdac0 V] [-vdacfs V] [-corners] [-workers N] [-backend B]
 //	optima speedup   [-model in.json] [-mc N]
-//	optima all       [-out dir] [-mc N]
+//	optima all       [-out dir] [-mc N] [-workers N] [-backend B]
+//
+// -workers bounds the evaluation engine's worker pool (0 = all CPUs);
+// -backend selects behavioral (calibrated models, fast) or golden
+// (transistor-level transients — the reference, orders of magnitude
+// slower). Sweep output is identical for any worker count.
 //
 // Every artifact is written as .txt/.csv (tables) and .svg (charts) into
 // the output directory (default ./out).
@@ -23,6 +28,7 @@ import (
 
 	"optima/internal/core"
 	"optima/internal/dse"
+	"optima/internal/engine"
 	"optima/internal/exp"
 	"optima/internal/mult"
 	"optima/internal/refdata"
@@ -73,25 +79,45 @@ commands:
   all         everything above into one output directory`)
 }
 
+// engineFlags registers the evaluation-engine flags shared by the
+// sweep-running subcommands.
+func engineFlags(fs *flag.FlagSet) (workers *int, backend *string) {
+	workers = fs.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
+	backend = fs.String("backend", engine.BackendBehavioral,
+		"evaluation backend: behavioral (fast models) or golden (transient simulation; orders of magnitude slower)")
+	return workers, backend
+}
+
 // makeContext builds an experiment context, loading a model when given.
-func makeContext(modelPath string, quick bool) (*exp.Context, error) {
+// workers and backend configure the context's evaluation engine.
+func makeContext(modelPath string, quick bool, workers int, backend string) (*exp.Context, error) {
+	if err := engine.ValidateBackendName(backend); err != nil {
+		return nil, err
+	}
 	calib := core.DefaultCalibration()
 	if quick {
 		calib = core.QuickCalibration()
 	}
+	var ctx *exp.Context
 	if modelPath != "" {
 		if m, err := core.LoadModel(modelPath); err == nil {
 			fmt.Printf("loaded model from %s\n", modelPath)
-			return exp.NewContextWithModel(m, calib.Tech), nil
+			ctx = exp.NewContextWithModel(m, calib.Tech)
+		} else {
+			fmt.Printf("model %s not found; calibrating\n", modelPath)
 		}
-		fmt.Printf("model %s not found; calibrating\n", modelPath)
 	}
-	start := time.Now()
-	ctx, err := exp.NewContext(calib)
-	if err != nil {
-		return nil, err
+	if ctx == nil {
+		start := time.Now()
+		var err error
+		ctx, err = exp.NewContext(calib)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("calibrated in %v: %v\n", time.Since(start), ctx.Model.Report)
 	}
-	fmt.Printf("calibrated in %v: %v\n", time.Since(start), ctx.Model.Report)
+	ctx.Workers = workers
+	ctx.Backend = backend
 	return ctx, nil
 }
 
@@ -137,10 +163,11 @@ func runFigures(args []string) error {
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
 	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
+	workers, backend := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend)
 	if err != nil {
 		return err
 	}
@@ -214,10 +241,11 @@ func runDSE(args []string) error {
 	fs := flag.NewFlagSet("dse", flag.ExitOnError)
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
+	workers, backend := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend)
 	if err != nil {
 		return err
 	}
@@ -225,7 +253,11 @@ func runDSE(args []string) error {
 	if err != nil {
 		return err
 	}
-	return writeDSE(ctx, out)
+	if err := writeDSE(ctx, out); err != nil {
+		return err
+	}
+	fmt.Printf("engine [%s]: %v\n", ctx.Engine().Backend().Name(), ctx.Engine().Stats())
+	return nil
 }
 
 func writeDSE(ctx *exp.Context, out *report.Output) error {
@@ -287,10 +319,11 @@ func runPVT(args []string) error {
 	vdac0 := fs.Float64("vdac0", 0.3, "DAC output for code 0 [V]")
 	vdacfs := fs.Float64("vdacfs", 1.0, "DAC full-scale output [V]")
 	corners := fs.Bool("corners", true, "run the golden process-corner check (slow)")
+	workers, backend := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend)
 	if err != nil {
 		return err
 	}
@@ -301,11 +334,11 @@ func runPVT(args []string) error {
 	cfg := mult.Config{Tau0: *tau0 * 1e-9, VDAC0: *vdac0, VDACFS: *vdacfs}
 	fmt.Printf("configuration: %v\n", cfg)
 
-	vddSweep, err := dse.SweepVDD(ctx.Model, cfg, stats.Linspace(0.90, 1.10, 9))
+	vddSweep, err := dse.SweepVDD(ctx.Engine(), cfg, stats.Linspace(0.90, 1.10, 9))
 	if err != nil {
 		return err
 	}
-	tempSweep, err := dse.SweepTemp(ctx.Model, cfg, stats.Linspace(0, 60, 7))
+	tempSweep, err := dse.SweepTemp(ctx.Engine(), cfg, stats.Linspace(0, 60, 7))
 	if err != nil {
 		return err
 	}
@@ -338,7 +371,7 @@ func runSpeedup(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false)
+	ctx, err := makeContext(*modelPath, false, 0, engine.BackendBehavioral)
 	if err != nil {
 		return err
 	}
@@ -368,10 +401,11 @@ func runAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	outDir := fs.String("out", "out", "artifact directory")
 	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
+	workers, backend := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext("", false)
+	ctx, err := makeContext("", false, *workers, *backend)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,9 @@
 // transistor-level simulation, polynomial fitting, discrete-event kernel,
 // DNN inference and quantization) with the paper's behavioral models in
 // internal/core and the 4-bit in-SRAM multiplier case study in internal/mult.
-// Command-line tools under cmd/ and the benchmarks in bench_test.go
-// regenerate every table and figure of the paper's evaluation.
+// All corner/condition evaluations route through the concurrent memoizing
+// evaluation service in internal/engine, which the exploration layers
+// (internal/dse, internal/exp) submit jobs to. Command-line tools under
+// cmd/ and the benchmarks in bench_test.go regenerate every table and
+// figure of the paper's evaluation.
 package optima

@@ -86,6 +86,6 @@ func main() {
 		qnet.Mult = im
 		top1, top5 = qnet.TopKAccuracy(ds.Test, ds.TestY, 5)
 		fmt.Printf("%-22s top-1 %5.1f%%  top-5 %5.1f%%  (%d multiplications)\n",
-			corner.name, top1, top5, im.Ops)
+			corner.name, top1, top5, im.Ops())
 	}
 }

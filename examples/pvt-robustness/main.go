@@ -12,6 +12,7 @@ import (
 	"optima/internal/core"
 	"optima/internal/device"
 	"optima/internal/dse"
+	"optima/internal/engine"
 	"optima/internal/mult"
 	"optima/internal/report"
 	"optima/internal/stats"
@@ -38,8 +39,11 @@ func main() {
 	fmt.Printf("nominal: ϵ=%.2f LSB, E=%.1f fJ, σ@(15,15)=%.2f LSB (%.2f mV)\n\n",
 		met.EpsMul, met.EMul*1e15, met.SigmaMaxLSB, met.SigmaMaxVolt*1e3)
 
+	// Both condition sweeps share one evaluation engine.
+	eng := engine.New(engine.Behavioral{Model: model}, 0)
+
 	// Supply sweep (paper Fig. 8 right, top).
-	vddSweep, err := dse.SweepVDD(model, cfg, stats.Linspace(0.90, 1.10, 9))
+	vddSweep, err := dse.SweepVDD(eng, cfg, stats.Linspace(0.90, 1.10, 9))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +56,7 @@ func main() {
 	}
 
 	// Temperature sweep (paper Fig. 8 right, bottom).
-	tempSweep, err := dse.SweepTemp(model, cfg, stats.Linspace(0, 60, 7))
+	tempSweep, err := dse.SweepTemp(eng, cfg, stats.Linspace(0, 60, 7))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module optima
+
+go 1.24

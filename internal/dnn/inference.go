@@ -1,0 +1,73 @@
+package dnn
+
+import "math"
+
+// StatelessCapable reports whether InferenceForward covers the layer type.
+func StatelessCapable(l Layer) bool {
+	switch l.(type) {
+	case *ReLU, *MaxPool2, *GlobalAvgPool, *BatchNorm2D:
+		return true
+	}
+	return false
+}
+
+// InferenceForward computes the inference-mode forward of a layer without
+// mutating it. The training Forward methods record state for Backward
+// (ReLU masks, pool argmax, conv inputs), which makes them unsafe for
+// concurrent evaluation; this path covers the stateless-capable layer
+// types so quantized networks can fan batches out across workers. Returns
+// ok = false for layer types that have no stateless forward (Conv2D,
+// Dense) — callers must fall back to the serial path.
+func InferenceForward(l Layer, x *Tensor) (*Tensor, bool) {
+	switch t := l.(type) {
+	case *ReLU:
+		out := x.Clone()
+		for i, v := range out.Data {
+			if v < 0 {
+				out.Data[i] = 0
+			}
+		}
+		return out, true
+	case *MaxPool2:
+		oh, ow := x.H/2, x.W/2
+		out := NewTensor(x.N, x.C, oh, ow)
+		for n := 0; n < x.N; n++ {
+			for c := 0; c < x.C; c++ {
+				for i := 0; i < oh; i++ {
+					for j := 0; j < ow; j++ {
+						best := math.Inf(-1)
+						for di := 0; di < 2; di++ {
+							for dj := 0; dj < 2; dj++ {
+								if v := x.Data[x.Idx(n, c, 2*i+di, 2*j+dj)]; v > best {
+									best = v
+								}
+							}
+						}
+						out.Data[out.Idx(n, c, i, j)] = best
+					}
+				}
+			}
+		}
+		return out, true
+	case *GlobalAvgPool:
+		out := NewTensor(x.N, x.C, 1, 1)
+		inv := 1.0 / float64(x.H*x.W)
+		for n := 0; n < x.N; n++ {
+			for c := 0; c < x.C; c++ {
+				var s float64
+				base := x.Idx(n, c, 0, 0)
+				for i := 0; i < x.H*x.W; i++ {
+					s += x.Data[base+i]
+				}
+				out.Data[out.Idx(n, c, 0, 0)] = s * inv
+			}
+		}
+		return out, true
+	case *BatchNorm2D:
+		// The eval-mode forward reads only running statistics — already
+		// stateless.
+		return t.Forward(x, false), true
+	default:
+		return nil, false
+	}
+}

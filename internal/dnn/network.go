@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 
+	"optima/internal/sched"
 	"optima/internal/stats"
 )
 
@@ -240,19 +241,34 @@ func (n *Network) Fit(x *Tensor, labels []int, cfg TrainConfig) (float64, error)
 }
 
 // TopKAccuracy evaluates top-1 and top-k accuracy of the network's float
-// forward pass (batched internally).
+// forward pass (batched internally). The float layers record training
+// state in Forward, so evaluation stays on one worker; quantized networks
+// (internal/quant) fan batches out.
 func (n *Network) TopKAccuracy(x *Tensor, labels []int, k int) (top1, topk float64) {
-	return EvalTopK(func(b *Tensor) *Tensor { return n.Forward(b, false) }, x, labels, k, 32)
+	return EvalTopKWorkers(func(b *Tensor) *Tensor { return n.Forward(b, false) }, x, labels, k, 32, 1)
 }
 
-// EvalTopK scores an arbitrary classifier function batch-by-batch.
+// EvalTopK scores an arbitrary classifier function batch-by-batch on one
+// worker.
 func EvalTopK(forward func(*Tensor) *Tensor, x *Tensor, labels []int, k, batch int) (top1, topk float64) {
+	return EvalTopKWorkers(forward, x, labels, k, batch, 1)
+}
+
+// EvalTopKWorkers scores a classifier with the batches fanned out across
+// the shared scheduler (internal/sched). forward must be safe for concurrent calls whenever
+// workers != 1 (workers <= 0 uses GOMAXPROCS). The result is independent
+// of the worker count.
+func EvalTopKWorkers(forward func(*Tensor) *Tensor, x *Tensor, labels []int, k, batch, workers int) (top1, topk float64) {
 	if batch <= 0 {
 		batch = 32
 	}
 	feat := x.FeatureLen()
-	var hits1, hitsK int
+	starts := make([]int, 0, (x.N+batch-1)/batch)
 	for start := 0; start < x.N; start += batch {
+		starts = append(starts, start)
+	}
+	type hits struct{ h1, hk int }
+	perBatch, _ := sched.Map(workers, starts, func(_ int, start int) (hits, error) {
 		end := start + batch
 		if end > x.N {
 			end = x.N
@@ -262,6 +278,7 @@ func EvalTopK(forward func(*Tensor) *Tensor, x *Tensor, labels []int, k, batch i
 		copy(b.Data, x.Data[start*feat:end*feat])
 		logits := forward(b)
 		classes := logits.FeatureLen()
+		var h hits
 		for i := 0; i < bs; i++ {
 			row := logits.Data[i*classes : (i+1)*classes]
 			label := labels[start+i]
@@ -272,15 +289,21 @@ func EvalTopK(forward func(*Tensor) *Tensor, x *Tensor, labels []int, k, batch i
 			}
 			sort.Slice(idx, func(a, b int) bool { return row[idx[a]] > row[idx[b]] })
 			if idx[0] == label {
-				hits1++
+				h.h1++
 			}
 			for j := 0; j < k && j < classes; j++ {
 				if idx[j] == label {
-					hitsK++
+					h.hk++
 					break
 				}
 			}
 		}
+		return h, nil
+	})
+	var hits1, hitsK int
+	for _, h := range perBatch {
+		hits1 += h.h1
+		hitsK += h.hk
 	}
 	total := float64(x.N)
 	return 100 * float64(hits1) / total, 100 * float64(hitsK) / total

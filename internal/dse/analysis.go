@@ -5,6 +5,7 @@ import (
 
 	"optima/internal/core"
 	"optima/internal/device"
+	"optima/internal/engine"
 	"optima/internal/mult"
 	"optima/internal/spice"
 	"optima/internal/stats"
@@ -48,7 +49,7 @@ func ProfileByResult(model *core.Model, cfg mult.Config, cond device.PVT) (Resul
 				groups[r.Expected] = g
 			}
 			sigma := math.Hypot(r.Sigma, b.ADCSigma)
-			g.err.Add(expectedAbsError(r.VComb-b.OffsetVolt, sigma, b.LSBVolt, r.Expected))
+			g.err.Add(engine.ExpectedAbsError(r.VComb-b.OffsetVolt, sigma, b.LSBVolt, r.Expected))
 			g.sigSq.Add(r.Sigma * r.Sigma)
 		}
 	}
@@ -78,33 +79,35 @@ type ConditionSweep struct {
 }
 
 // SweepVDD evaluates ϵ_mul over a supply range at nominal temperature
-// (paper Fig. 8 right, top).
-func SweepVDD(model *core.Model, cfg mult.Config, vdds []float64) (ConditionSweep, error) {
-	out := ConditionSweep{Config: cfg}
-	for _, vdd := range vdds {
-		cond := device.PVT{Corner: device.CornerTT, VDD: vdd, TempC: device.NominalTempC}
-		met, err := Evaluate(model, cfg, cond)
-		if err != nil {
-			return ConditionSweep{}, err
-		}
-		out.X = append(out.X, vdd)
-		out.AvgError = append(out.AvgError, met.EpsMul)
-		out.AvgEnergy = append(out.AvgEnergy, met.EMul)
+// through the given engine (paper Fig. 8 right, top).
+func SweepVDD(eng *engine.Engine, cfg mult.Config, vdds []float64) (ConditionSweep, error) {
+	jobs := make([]engine.Job, len(vdds))
+	for i, vdd := range vdds {
+		jobs[i] = engine.Job{Config: cfg, Cond: device.PVT{Corner: device.CornerTT, VDD: vdd, TempC: device.NominalTempC}}
 	}
-	return out, nil
+	return conditionSweep(eng, cfg, vdds, jobs)
 }
 
 // SweepTemp evaluates ϵ_mul over a temperature range at nominal supply
-// (paper Fig. 8 right, bottom).
-func SweepTemp(model *core.Model, cfg mult.Config, temps []float64) (ConditionSweep, error) {
+// through the given engine (paper Fig. 8 right, bottom).
+func SweepTemp(eng *engine.Engine, cfg mult.Config, temps []float64) (ConditionSweep, error) {
+	jobs := make([]engine.Job, len(temps))
+	for i, tc := range temps {
+		jobs[i] = engine.Job{Config: cfg, Cond: device.PVT{Corner: device.CornerTT, VDD: device.NominalVDD, TempC: tc}}
+	}
+	return conditionSweep(eng, cfg, temps, jobs)
+}
+
+// conditionSweep fans the condition jobs out on the engine and collects the
+// per-condition error/energy curves in sweep order.
+func conditionSweep(eng *engine.Engine, cfg mult.Config, xs []float64, jobs []engine.Job) (ConditionSweep, error) {
+	mets, err := eng.EvaluateAll(jobs)
+	if err != nil {
+		return ConditionSweep{}, err
+	}
 	out := ConditionSweep{Config: cfg}
-	for _, tc := range temps {
-		cond := device.PVT{Corner: device.CornerTT, VDD: device.NominalVDD, TempC: tc}
-		met, err := Evaluate(model, cfg, cond)
-		if err != nil {
-			return ConditionSweep{}, err
-		}
-		out.X = append(out.X, tc)
+	for i, met := range mets {
+		out.X = append(out.X, xs[i])
 		out.AvgError = append(out.AvgError, met.EpsMul)
 		out.AvgEnergy = append(out.AvgEnergy, met.EMul)
 	}

@@ -3,19 +3,22 @@
 // each corner by average multiplication error and energy, selecting the
 // fom / power / variation corners (Table I), extracting Pareto-optimal
 // sets, and running the PVT robustness analyses of Fig. 8.
+//
+// The package is the exploration layer: it decides which corners and
+// conditions to score and how to rank them. The scoring itself — worker
+// pool, result cache, behavioral-vs-golden backend choice — lives in
+// internal/engine, which every sweep here routes through.
 package dse
 
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"optima/internal/core"
 	"optima/internal/device"
+	"optima/internal/engine"
 	"optima/internal/mult"
-	"optima/internal/stats"
 )
 
 // Grid spans the explored configuration space. The paper's 48-corner space
@@ -54,175 +57,34 @@ func (g Grid) Configs() []mult.Config {
 	return out
 }
 
-// Metrics scores one design corner over the full 16×16 input space at one
-// operating condition. Errors are expectations over the analog noise
-// (mismatch Eq. 6 plus readout noise), computed analytically — no
-// Monte-Carlo jitter, so corner selection is deterministic.
-type Metrics struct {
-	Config mult.Config
-	Cond   device.PVT
-	// EpsMul is the mean expected |error| in ADC LSBs over all input pairs
-	// (the paper's ϵ_mul).
-	EpsMul float64
-	// EpsLarge / EpsSmall split EpsMul by expected product
-	// (≥ / < ProductMax/2) — the paper's Fig. 8 small-operand analysis.
-	EpsLarge, EpsSmall float64
-	// EMul is the mean multiplication energy [J] (the paper's E_mul).
-	EMul float64
-	// SigmaMaxLSB is the analog standard deviation at the maximum discharge
-	// (15,15) in LSBs — the paper's variation-corner criterion.
-	SigmaMaxLSB float64
-	// SigmaMaxVolt is the same in volts (the paper quotes 5.04 mV worst case).
-	SigmaMaxVolt float64
-	// LSBVolt is the corner's calibrated ADC step.
-	LSBVolt float64
-}
+// Metrics is the per-corner score produced by the evaluation engine.
+type Metrics = engine.Metrics
 
-// FOM is the paper's Eq. 9 figure of merit 1/(ϵ_mul·E_mul), in 1/(LSB·fJ).
-func (m Metrics) FOM() float64 {
-	if m.EpsMul <= 0 || m.EMul <= 0 {
-		return 0
-	}
-	return 1 / (m.EpsMul * m.EMul * 1e15)
-}
-
-// Evaluate scores one configuration at the given condition.
+// Evaluate scores one configuration at the given condition with the
+// behavioral backend (no pool, no cache — for one-off scoring; sweeps
+// should go through an engine).
 func Evaluate(model *core.Model, cfg mult.Config, cond device.PVT) (Metrics, error) {
-	b, err := mult.NewBehavioral(model, cfg, cond)
-	if err != nil {
-		return Metrics{}, err
-	}
-	return evaluateBehavioral(b)
+	return engine.Behavioral{Model: model}.Evaluate(cfg, cond)
 }
 
-func evaluateBehavioral(b *mult.Behavioral) (Metrics, error) {
-	m := Metrics{Config: b.Cfg, Cond: b.Cond, LSBVolt: b.LSBVolt}
-	var epsAcc, largeAcc, smallAcc, eAcc stats.Accumulator
-	for a := uint(0); a <= mult.OperandMax; a++ {
-		for d := uint(0); d <= mult.OperandMax; d++ {
-			r, err := b.Multiply(a, d, nil)
-			if err != nil {
-				return Metrics{}, err
-			}
-			sigma := math.Hypot(r.Sigma, b.ADCSigma)
-			eps := expectedAbsError(r.VComb-b.OffsetVolt, sigma, b.LSBVolt, r.Expected)
-			epsAcc.Add(eps)
-			if r.Expected >= mult.ProductMax/2 {
-				largeAcc.Add(eps)
-			} else {
-				smallAcc.Add(eps)
-			}
-			eAcc.Add(r.Energy)
-			if a == mult.OperandMax && d == mult.OperandMax {
-				m.SigmaMaxVolt = r.Sigma
-				m.SigmaMaxLSB = r.Sigma / b.LSBVolt
-			}
-		}
-	}
-	m.EpsMul = epsAcc.Mean()
-	m.EpsLarge = largeAcc.Mean()
-	m.EpsSmall = smallAcc.Mean()
-	m.EMul = eAcc.Mean()
-	return m, nil
-}
-
-// expectedAbsError returns E[|code − expected|] for a Gaussian analog value
-// N(mu, sigma) quantized with the given LSB and clamped to the ADC range.
-func expectedAbsError(mu, sigma, lsb float64, expected int) float64 {
-	if sigma <= 0 {
-		code := int(math.Round(mu / lsb))
-		if code < 0 {
-			code = 0
-		}
-		if code > mult.ADCMax {
-			code = mult.ADCMax
-		}
-		return math.Abs(float64(code - expected))
-	}
-	// Sum |k − expected|·P(code = k) over codes within ±6σ of the mean.
-	lo := int(math.Floor((mu-6*sigma)/lsb)) - 1
-	hi := int(math.Ceil((mu+6*sigma)/lsb)) + 1
-	if lo < 0 {
-		lo = 0
-	}
-	if hi > mult.ADCMax {
-		hi = mult.ADCMax
-	}
-	inv := 1 / (sigma * math.Sqrt2)
-	cdf := func(v float64) float64 { return 0.5 * (1 + math.Erf((v-mu)*inv)) }
-	var sum float64
-	for k := lo; k <= hi; k++ {
-		lower := (float64(k) - 0.5) * lsb
-		upper := (float64(k) + 0.5) * lsb
-		var p float64
-		switch {
-		case k == 0:
-			p = cdf(upper) // everything below the first boundary clamps to 0
-		case k == mult.ADCMax:
-			p = 1 - cdf(lower)
-		default:
-			p = cdf(upper) - cdf(lower)
-		}
-		sum += math.Abs(float64(k-expected)) * p
-	}
-	// Account for truncated tails outside [lo, hi] when they clamp.
-	if lo > 0 {
-		sum += math.Abs(float64(lo-expected)) * cdf((float64(lo)-0.5)*lsb)
-	}
-	if hi < mult.ADCMax {
-		sum += math.Abs(float64(hi-expected)) * (1 - cdf((float64(hi)+0.5)*lsb))
-	}
-	return sum
-}
-
-// Sweep evaluates every corner of the grid at the nominal condition using a
-// worker pool and returns the metrics in grid order.
+// Sweep evaluates every corner of the grid at the nominal condition on a
+// fresh behavioral engine with the given worker count and returns the
+// metrics in grid order. Callers that run several sweeps (figures, tables,
+// condition excursions) should build one engine and use SweepWith so
+// repeated corners hit the cache.
 func Sweep(model *core.Model, grid Grid, workers int) ([]Metrics, error) {
-	cfgs := grid.Configs()
-	out := make([]Metrics, len(cfgs))
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	return SweepWith(engine.New(engine.Behavioral{Model: model}, workers), grid, device.Nominal())
+}
+
+// SweepWith evaluates every corner of the grid at cond through the given
+// engine. Results come back in grid order regardless of the engine's
+// worker count.
+func SweepWith(eng *engine.Engine, grid Grid, cond device.PVT) ([]Metrics, error) {
+	mets, err := eng.EvaluateAll(engine.Jobs(grid.Configs(), cond))
+	if err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
 	}
-	if workers > len(cfgs) {
-		workers = len(cfgs)
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		next  int
-		first error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if first != nil || next >= len(cfgs) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				met, err := Evaluate(model, cfgs[i], device.Nominal())
-				if err != nil {
-					mu.Lock()
-					if first == nil {
-						first = fmt.Errorf("dse: corner %v: %w", cfgs[i], err)
-					}
-					mu.Unlock()
-					return
-				}
-				out[i] = met
-			}
-		}()
-	}
-	wg.Wait()
-	if first != nil {
-		return nil, first
-	}
-	return out, nil
+	return mets, nil
 }
 
 // Selection holds the three corners the paper's Table I reports.

@@ -2,11 +2,13 @@ package dse
 
 import (
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 
 	"optima/internal/core"
 	"optima/internal/device"
+	"optima/internal/engine"
 	"optima/internal/mult"
 	"optima/internal/spice"
 )
@@ -99,6 +101,36 @@ func TestSweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestSweepWorkerCountInvariance is the regression test for the grid-order
+// guarantee: the full 48-corner sweep must produce bit-identical metrics —
+// every field, in grid order — whether it runs on one worker or eight.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	m := testModel(t)
+	serial, err := Sweep(m, DefaultGrid(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Sweep(m, DefaultGrid(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 48 || len(parallel) != 48 {
+		t.Fatalf("sweep lengths %d, %d, want 48", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("corner %d differs between workers=1 and workers=8:\n%+v\n%+v",
+				i, serial[i], parallel[i])
+		}
+	}
+	// Grid order: results must line up with the expanded configuration list.
+	for i, cfg := range DefaultGrid().Configs() {
+		if serial[i].Config != cfg {
+			t.Fatalf("result %d is corner %v, want %v (grid order broken)", i, serial[i].Config, cfg)
+		}
+	}
+}
+
 func TestSelectRules(t *testing.T) {
 	m := testModel(t)
 	mets, err := Sweep(m, DefaultGrid(), 0)
@@ -170,21 +202,21 @@ func TestParetoFrontProperties(t *testing.T) {
 
 func TestExpectedAbsErrorAnalytic(t *testing.T) {
 	// Zero noise: plain quantization error.
-	if got := expectedAbsError(10.4, 0, 1, 10); got != 0 {
+	if got := engine.ExpectedAbsError(10.4, 0, 1, 10); got != 0 {
 		t.Fatalf("σ=0 rounding: %g, want 0", got)
 	}
-	if got := expectedAbsError(10.6, 0, 1, 10); got != 1 {
+	if got := engine.ExpectedAbsError(10.6, 0, 1, 10); got != 1 {
 		t.Fatalf("σ=0 rounding: %g, want 1", got)
 	}
 	// Large noise: E|X−k| for X ~ N(k, σ) quantized ≈ σ·√(2/π).
 	sigma := 5.0
-	got := expectedAbsError(100, sigma, 1, 100)
+	got := engine.ExpectedAbsError(100, sigma, 1, 100)
 	want := sigma * math.Sqrt(2/math.Pi)
 	if math.Abs(got-want) > 0.1*want {
 		t.Fatalf("Gaussian mean abs = %g, want ≈%g", got, want)
 	}
 	// Clamping at zero: mean below range floor.
-	got = expectedAbsError(-3, 0.5, 1, 0)
+	got = engine.ExpectedAbsError(-3, 0.5, 1, 0)
 	if got > 0.05 {
 		t.Fatalf("clamped-to-zero error %g, want ≈0", got)
 	}
@@ -229,7 +261,8 @@ func TestProfileByResult(t *testing.T) {
 func TestConditionSweeps(t *testing.T) {
 	m := testModel(t)
 	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
-	vdd, err := SweepVDD(m, cfg, []float64{0.9, 1.0, 1.1})
+	eng := engine.New(engine.Behavioral{Model: m}, 0)
+	vdd, err := SweepVDD(eng, cfg, []float64{0.9, 1.0, 1.1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +273,7 @@ func TestConditionSweeps(t *testing.T) {
 	if vdd.AvgError[1] > vdd.AvgError[0] || vdd.AvgError[1] > vdd.AvgError[2] {
 		t.Fatalf("VDD sweep errors %v: nominal not minimal", vdd.AvgError)
 	}
-	tmp, err := SweepTemp(m, cfg, []float64{0, 27, 60})
+	tmp, err := SweepTemp(eng, cfg, []float64{0, 27, 60})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,6 +284,11 @@ func TestConditionSweeps(t *testing.T) {
 		if e <= 0 || math.IsNaN(e) {
 			t.Fatalf("temperature sweep error %g invalid", e)
 		}
+	}
+	// The nominal-VDD corner is shared between the two sweeps: the engine
+	// must have served one of the two from cache.
+	if st := eng.Stats(); st.Hits < 1 || st.Misses != 5 {
+		t.Fatalf("condition sweeps did not share the cache: %v", st)
 	}
 }
 

@@ -1,0 +1,255 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/mult"
+	"optima/internal/spice"
+	"optima/internal/stats"
+)
+
+// Backend names used by the built-in backends and the CLI flags.
+const (
+	BackendBehavioral = "behavioral"
+	BackendGolden     = "golden"
+)
+
+// ValidateBackendName rejects names ByName would not accept. Callers that
+// take a backend name from user input should validate it here before
+// wiring it into a Context or Engine.
+func ValidateBackendName(name string) error {
+	switch name {
+	case "", BackendBehavioral, BackendGolden:
+		return nil
+	}
+	return fmt.Errorf("engine: unknown backend %q (want %s or %s)",
+		name, BackendBehavioral, BackendGolden)
+}
+
+// ByName constructs a built-in backend from its CLI name. An empty name
+// means behavioral.
+func ByName(name string, model *core.Model, tech device.Tech, scfg spice.Config) (Backend, error) {
+	if err := ValidateBackendName(name); err != nil {
+		return nil, err
+	}
+	if name == BackendGolden {
+		return Golden{Tech: tech, Spice: scfg}, nil
+	}
+	return Behavioral{Model: model}, nil
+}
+
+// Metrics scores one design corner over the full 16×16 input space at one
+// operating condition — the unit result of the evaluation service.
+type Metrics struct {
+	Config mult.Config
+	Cond   device.PVT
+	// EpsMul is the mean |error| in ADC LSBs over all input pairs (the
+	// paper's ϵ_mul). The behavioral backend computes the expectation over
+	// the analog noise analytically; the golden backend measures the
+	// deterministic transfer.
+	EpsMul float64
+	// EpsLarge / EpsSmall split EpsMul by expected product
+	// (≥ / < ProductMax/2) — the paper's Fig. 8 small-operand analysis.
+	EpsLarge, EpsSmall float64
+	// EMul is the mean multiplication energy [J] (the paper's E_mul).
+	EMul float64
+	// SigmaMaxLSB is the analog standard deviation at the maximum discharge
+	// (15,15) in LSBs — the paper's variation-corner criterion. The
+	// behavioral backend computes it analytically from Eq. 6; the golden
+	// backend estimates it by Monte-Carlo mismatch sampling
+	// (GoldenSigmaSamples).
+	SigmaMaxLSB float64
+	// SigmaMaxVolt is the same in volts (the paper quotes 5.04 mV worst case).
+	SigmaMaxVolt float64
+	// LSBVolt is the corner's calibrated ADC step.
+	LSBVolt float64
+}
+
+// FOM is the paper's Eq. 9 figure of merit 1/(ϵ_mul·E_mul), in 1/(LSB·fJ).
+func (m Metrics) FOM() float64 {
+	if m.EpsMul <= 0 || m.EMul <= 0 {
+		return 0
+	}
+	return 1 / (m.EpsMul * m.EMul * 1e15)
+}
+
+// Backend evaluates one design corner at one operating condition. An
+// implementation must be deterministic (same job, same result) and safe for
+// concurrent use — the engine caches results by (backend name, job) and
+// fans jobs out across workers.
+type Backend interface {
+	Name() string
+	Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error)
+}
+
+// Behavioral is the fast backend: OPTIMA's calibrated models, with the
+// error expectation over mismatch (Eq. 6) and readout noise computed
+// analytically — no Monte-Carlo jitter, so corner selection is
+// deterministic.
+type Behavioral struct {
+	Model *core.Model
+}
+
+// Name implements Backend.
+func (Behavioral) Name() string { return BackendBehavioral }
+
+// Evaluate implements Backend.
+func (b Behavioral) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
+	bm, err := mult.NewBehavioral(b.Model, cfg, cond)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{Config: cfg, Cond: cond, LSBVolt: bm.LSBVolt}
+	err = m.accumulate(func(a, d uint) (eps, energy float64, err error) {
+		r, err := bm.Multiply(a, d, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		sigma := math.Hypot(r.Sigma, bm.ADCSigma)
+		eps = ExpectedAbsError(r.VComb-bm.OffsetVolt, sigma, bm.LSBVolt, r.Expected)
+		if a == mult.OperandMax && d == mult.OperandMax {
+			m.SigmaMaxVolt = r.Sigma
+			m.SigmaMaxLSB = r.Sigma / bm.LSBVolt
+		}
+		return eps, r.Energy, nil
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}
+
+// Golden is the reference backend: every evaluation runs the full input
+// space through transistor-level transient simulation (hundreds of
+// transients per corner — orders of magnitude slower; that gap is the
+// paper's headline speed-up).
+type Golden struct {
+	Tech  device.Tech
+	Spice spice.Config
+}
+
+// Name implements Backend.
+func (Golden) Name() string { return BackendGolden }
+
+// GoldenSigmaSamples is the Monte-Carlo mismatch population the golden
+// backend uses to estimate σ at the maximum discharge — the variation-
+// corner criterion the behavioral backend computes analytically from
+// Eq. 6. Each sample simulates the four bit lines of the (15,15) input.
+const GoldenSigmaSamples = 24
+
+// Evaluate implements Backend.
+func (g Golden) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
+	gm, err := mult.NewGolden(g.Tech, cfg, cond, g.Spice)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m := Metrics{Config: cfg, Cond: cond, LSBVolt: gm.LSBVolt}
+	err = m.accumulate(func(a, d uint) (eps, energy float64, err error) {
+		r, err := gm.Multiply(a, d)
+		if err != nil {
+			return 0, 0, err
+		}
+		return math.Abs(float64(r.ErrorLSB())), r.Energy, nil
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	// σ at the maximum discharge via Monte-Carlo mismatch sampling. The
+	// seed is fixed so the backend stays deterministic (same job, same
+	// result — the engine's cache contract).
+	rng := stats.NewRNG(0x600dc0de)
+	var vAcc stats.Accumulator
+	for s := 0; s < GoldenSigmaSamples; s++ {
+		gm.SampleMismatch(rng)
+		r, err := gm.Multiply(mult.OperandMax, mult.OperandMax)
+		if err != nil {
+			return Metrics{}, err
+		}
+		vAcc.Add(r.VComb)
+	}
+	gm.ClearMismatch()
+	m.SigmaMaxVolt = vAcc.StdDev()
+	m.SigmaMaxLSB = m.SigmaMaxVolt / gm.LSBVolt
+	return m, nil
+}
+
+// accumulate scores the full 16×16 input space with the supplied per-pair
+// evaluator, filling the mean error/energy fields. Both backends share
+// this scaffold so the metric definitions (large/small split, averaging)
+// cannot drift apart.
+func (m *Metrics) accumulate(eval func(a, d uint) (eps, energy float64, err error)) error {
+	var epsAcc, largeAcc, smallAcc, eAcc stats.Accumulator
+	for a := uint(0); a <= mult.OperandMax; a++ {
+		for d := uint(0); d <= mult.OperandMax; d++ {
+			eps, energy, err := eval(a, d)
+			if err != nil {
+				return err
+			}
+			epsAcc.Add(eps)
+			if int(a*d) >= mult.ProductMax/2 {
+				largeAcc.Add(eps)
+			} else {
+				smallAcc.Add(eps)
+			}
+			eAcc.Add(energy)
+		}
+	}
+	m.EpsMul = epsAcc.Mean()
+	m.EpsLarge = largeAcc.Mean()
+	m.EpsSmall = smallAcc.Mean()
+	m.EMul = eAcc.Mean()
+	return nil
+}
+
+// ExpectedAbsError returns E[|code − expected|] for a Gaussian analog value
+// N(mu, sigma) quantized with the given LSB and clamped to the ADC range.
+// Exported for the per-result profile analyses in internal/dse.
+func ExpectedAbsError(mu, sigma, lsb float64, expected int) float64 {
+	if sigma <= 0 {
+		code := int(math.Round(mu / lsb))
+		if code < 0 {
+			code = 0
+		}
+		if code > mult.ADCMax {
+			code = mult.ADCMax
+		}
+		return math.Abs(float64(code - expected))
+	}
+	// Sum |k − expected|·P(code = k) over codes within ±6σ of the mean.
+	lo := int(math.Floor((mu-6*sigma)/lsb)) - 1
+	hi := int(math.Ceil((mu+6*sigma)/lsb)) + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > mult.ADCMax {
+		hi = mult.ADCMax
+	}
+	inv := 1 / (sigma * math.Sqrt2)
+	cdf := func(v float64) float64 { return 0.5 * (1 + math.Erf((v-mu)*inv)) }
+	var sum float64
+	for k := lo; k <= hi; k++ {
+		lower := (float64(k) - 0.5) * lsb
+		upper := (float64(k) + 0.5) * lsb
+		var p float64
+		switch {
+		case k == 0:
+			p = cdf(upper) // everything below the first boundary clamps to 0
+		case k == mult.ADCMax:
+			p = 1 - cdf(lower)
+		default:
+			p = cdf(upper) - cdf(lower)
+		}
+		sum += math.Abs(float64(k-expected)) * p
+	}
+	// Account for truncated tails outside [lo, hi] when they clamp.
+	if lo > 0 {
+		sum += math.Abs(float64(lo-expected)) * cdf((float64(lo)-0.5)*lsb)
+	}
+	if hi < mult.ADCMax {
+		sum += math.Abs(float64(hi-expected)) * (1 - cdf((float64(hi)+0.5)*lsb))
+	}
+	return sum
+}

@@ -1,0 +1,74 @@
+package engine_test
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/dse"
+	"optima/internal/engine"
+)
+
+var (
+	benchOnce  sync.Once
+	benchModel *core.Model
+	benchErr   error
+)
+
+func benchModelFixture(b *testing.B) *core.Model {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchModel, benchErr = core.Calibrate(core.QuickCalibration())
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchModel
+}
+
+// benchJobs is the paper's 48-corner grid at the nominal condition.
+func benchJobs() []engine.Job {
+	return engine.Jobs(dse.DefaultGrid().Configs(), device.Nominal())
+}
+
+// BenchmarkEngineSweep tracks the two wins the engine exists for: worker
+// fan-out on a cold sweep (workers=1 vs workers=NumCPU) and the
+// content-addressed cache (cold vs cached re-sweep, the ≥5× acceptance
+// target).
+func BenchmarkEngineSweep(b *testing.B) {
+	model := benchModelFixture(b)
+	jobs := benchJobs()
+
+	b.Run("cold/workers=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Behavioral{Model: model}, 1)
+			if _, err := eng.EvaluateAll(jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold/workers=numcpu", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(engine.Behavioral{Model: model}, runtime.NumCPU())
+			if _, err := eng.EvaluateAll(jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		eng := engine.New(engine.Behavioral{Model: model}, runtime.NumCPU())
+		if _, err := eng.EvaluateAll(jobs); err != nil {
+			b.Fatal(err) // warm the cache outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.EvaluateAll(jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := eng.Stats()
+		b.ReportMetric(float64(st.Hits), "cache-hits")
+	})
+}

@@ -1,0 +1,35 @@
+package engine
+
+// Comparison pairs one job's metrics from two backends — the
+// behavioral-vs-golden comparison mode any sweep can run.
+type Comparison struct {
+	Job  Job
+	A, B Metrics
+	// DeltaEps is B.EpsMul − A.EpsMul [LSB].
+	DeltaEps float64
+	// EnergyRatio is B.EMul / A.EMul (1 = perfect agreement).
+	EnergyRatio float64
+}
+
+// CompareAll evaluates the jobs on both engines and pairs the results in
+// job order. Each engine keeps its own cache, so re-running a comparison
+// after a sweep (or vice versa) only pays for the corners not yet seen.
+func CompareAll(a, b *Engine, jobs []Job) ([]Comparison, error) {
+	ma, err := a.EvaluateAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	mb, err := b.EvaluateAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Comparison, len(jobs))
+	for i := range jobs {
+		c := Comparison{Job: jobs[i], A: ma[i], B: mb[i], DeltaEps: mb[i].EpsMul - ma[i].EpsMul}
+		if ma[i].EMul != 0 {
+			c.EnergyRatio = mb[i].EMul / ma[i].EMul
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+// Package engine is the unified concurrent evaluation service of the
+// reproduction: every corner/condition evaluation — the paper's 48-corner
+// design-space sweep, the PVT robustness sweeps, and the figure/table
+// regenerations that revisit the same configurations — is submitted here
+// instead of rolling its own concurrency.
+//
+// The engine separates *evaluation* from *exploration* (the compiler-style
+// split of OpenACM): exploration layers (internal/dse, internal/exp) decide
+// which (config, condition) jobs to run; the engine decides how — a bounded
+// worker pool with deterministic result ordering, a content-addressed
+// in-memory result cache keyed on (backend, config, condition), and a
+// pluggable Backend so the same sweep can run against the fast behavioral
+// models or the golden transient solver (or both, for comparison mode).
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"optima/internal/device"
+	"optima/internal/mult"
+	"optima/internal/sched"
+)
+
+// Job is one unit of evaluation work: score a multiplier configuration at
+// an operating condition over the full input space.
+type Job struct {
+	Config mult.Config
+	Cond   device.PVT
+}
+
+// Key content-addresses one evaluation result: the backend identity plus
+// the job. Config and PVT are flat value structs, so Key is comparable and
+// two jobs collide exactly when they would produce the same result.
+type Key struct {
+	Backend string
+	Job
+}
+
+// Stats reports the engine's cache accounting.
+type Stats struct {
+	// Hits counts evaluations served from the cache (including waits on an
+	// in-flight computation of the same key).
+	Hits uint64
+	// Misses counts evaluations that ran the backend.
+	Misses uint64
+	// Entries is the number of distinct results held.
+	Entries int
+}
+
+// String renders the accounting for log lines.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d evaluated, %d cache hits, %d entries", s.Misses, s.Hits, s.Entries)
+}
+
+// entry is one cache slot. done is closed when met/err are valid, so
+// concurrent submitters of the same key wait instead of recomputing.
+type entry struct {
+	done chan struct{}
+	met  Metrics
+	err  error
+}
+
+// Engine is a memoizing concurrent evaluation service over one backend.
+// All methods are safe for concurrent use.
+type Engine struct {
+	backend Backend
+	workers int
+
+	mu     sync.Mutex
+	cache  map[Key]*entry
+	hits   uint64
+	misses uint64
+}
+
+// New returns an engine over the given backend. workers bounds the worker
+// pool of EvaluateAll; workers <= 0 uses GOMAXPROCS.
+func New(backend Backend, workers int) *Engine {
+	return &Engine{backend: backend, workers: workers, cache: map[Key]*entry{}}
+}
+
+// Backend returns the engine's backend.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// Workers returns the effective worker-pool bound.
+func (e *Engine) Workers() int {
+	if e.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return e.workers
+}
+
+// Stats returns a snapshot of the cache accounting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{Hits: e.hits, Misses: e.misses, Entries: len(e.cache)}
+}
+
+// Evaluate scores one job, serving repeats from the cache. Concurrent
+// submissions of the same key share a single backend evaluation. Errors are
+// cached too: backends are deterministic, so a failing corner fails the
+// same way every time.
+func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
+	key := Key{Backend: e.backend.Name(), Job: Job{Config: cfg, Cond: cond}}
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		<-ent.done
+		return ent.met, ent.err
+	}
+	e.misses++
+	ent := &entry{done: make(chan struct{})}
+	e.cache[key] = ent
+	e.mu.Unlock()
+
+	ent.met, ent.err = e.backend.Evaluate(cfg, cond)
+	close(ent.done)
+	return ent.met, ent.err
+}
+
+// EvaluateAll scores every job on the shared scheduler (internal/sched)
+// and returns the metrics in job order — the result is independent of the
+// worker count. The first error (by job index) aborts the sweep.
+func (e *Engine) EvaluateAll(jobs []Job) ([]Metrics, error) {
+	return sched.Map(e.Workers(), jobs, func(_ int, j Job) (Metrics, error) {
+		m, err := e.Evaluate(j.Config, j.Cond)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("engine: %s corner %v: %w", e.backend.Name(), j.Config, err)
+		}
+		return m, nil
+	})
+}
+
+// Jobs expands a configuration list at one condition.
+func Jobs(cfgs []mult.Config, cond device.PVT) []Job {
+	jobs := make([]Job, len(cfgs))
+	for i, cfg := range cfgs {
+		jobs[i] = Job{Config: cfg, Cond: cond}
+	}
+	return jobs
+}

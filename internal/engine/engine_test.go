@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/mult"
+)
+
+// fakeBackend synthesizes metrics from the configuration and counts real
+// evaluations, so cache accounting is observable.
+type fakeBackend struct {
+	evals atomic.Int64
+	fail  mult.Config // evaluating this config errors (zero value = never)
+}
+
+func (f *fakeBackend) Name() string { return "fake" }
+
+func (f *fakeBackend) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
+	f.evals.Add(1)
+	if cfg == f.fail {
+		return Metrics{}, errors.New("synthetic corner failure")
+	}
+	return Metrics{
+		Config: cfg,
+		Cond:   cond,
+		EpsMul: cfg.Tau0 * 1e9,
+		EMul:   cfg.VDACFS * 1e-15,
+	}, nil
+}
+
+func testJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{
+			Config: mult.Config{Tau0: float64(i+1) * 0.1e-9, VDAC0: 0.3, VDACFS: 1.0},
+			Cond:   device.Nominal(),
+		}
+	}
+	return jobs
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	fake := &fakeBackend{}
+	eng := New(fake, 4)
+	jobs := testJobs(12)
+
+	cold, err := eng.EvaluateAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fake.evals.Load(); got != 12 {
+		t.Fatalf("cold sweep ran %d backend evaluations, want 12", got)
+	}
+	st := eng.Stats()
+	if st.Misses != 12 || st.Hits != 0 || st.Entries != 12 {
+		t.Fatalf("cold stats %+v, want 12 misses / 0 hits / 12 entries", st)
+	}
+
+	warm, err := eng.EvaluateAll(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fake.evals.Load(); got != 12 {
+		t.Fatalf("warm sweep re-ran the backend: %d evaluations", got)
+	}
+	st = eng.Stats()
+	if st.Misses != 12 || st.Hits != 12 {
+		t.Fatalf("warm stats %+v, want 12 misses / 12 hits", st)
+	}
+	for i := range jobs {
+		if cold[i] != warm[i] {
+			t.Fatalf("cached result %d differs from cold result", i)
+		}
+	}
+}
+
+func TestConcurrentSubmissionSingleflight(t *testing.T) {
+	fake := &fakeBackend{}
+	eng := New(fake, 0)
+	jobs := testJobs(4)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, j := range jobs {
+				m, err := eng.Evaluate(j.Config, j.Cond)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if m.Config != j.Config {
+					t.Errorf("result for wrong config: %v", m.Config)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 16 goroutines × 4 jobs, but only 4 distinct keys: every duplicate must
+	// have shared the in-flight or cached evaluation.
+	if got := fake.evals.Load(); got != 4 {
+		t.Fatalf("%d backend evaluations, want 4", got)
+	}
+	st := eng.Stats()
+	if st.Misses != 4 || st.Hits != 60 {
+		t.Fatalf("stats %+v, want 4 misses / 60 hits", st)
+	}
+}
+
+func TestErrorsAreCachedAndAbortSweeps(t *testing.T) {
+	bad := mult.Config{Tau0: 0.2e-9, VDAC0: 0.3, VDACFS: 1.0}
+	fake := &fakeBackend{fail: bad}
+	eng := New(fake, 2)
+
+	if _, err := eng.Evaluate(bad, device.Nominal()); err == nil {
+		t.Fatal("failing corner did not error")
+	}
+	if _, err := eng.Evaluate(bad, device.Nominal()); err == nil {
+		t.Fatal("cached failure did not error")
+	}
+	if got := fake.evals.Load(); got != 1 {
+		t.Fatalf("failure evaluated %d times, want 1 (errors are cached)", got)
+	}
+
+	jobs := append(testJobs(6), Job{Config: bad, Cond: device.Nominal()})
+	if _, err := eng.EvaluateAll(jobs); err == nil {
+		t.Fatal("sweep with failing corner did not abort")
+	}
+}
+
+var (
+	equivOnce  sync.Once
+	equivModel *core.Model
+	equivErr   error
+)
+
+// TestBackendEquivalenceSmoke cross-checks the two production backends on a
+// handful of corners: the behavioral models are calibrated against the
+// golden simulator, so both must agree on the accuracy and energy of a
+// corner within the calibration residuals (the behavioral ϵ additionally
+// carries the analytic noise expectation, so the tolerance is in LSBs, not
+// bits).
+func TestBackendEquivalenceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden-simulation bound")
+	}
+	equivOnce.Do(func() {
+		equivModel, equivErr = core.Calibrate(core.QuickCalibration())
+	})
+	if equivErr != nil {
+		t.Fatal(equivErr)
+	}
+	calib := core.QuickCalibration()
+	behavioral := New(Behavioral{Model: equivModel}, 0)
+	golden := New(Golden{Tech: calib.Tech, Spice: calib.Spice}, 0)
+
+	jobs := Jobs([]mult.Config{
+		{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0},
+		{Tau0: 0.28e-9, VDAC0: 0.4, VDACFS: 0.8},
+	}, device.Nominal())
+	cmps, err := CompareAll(behavioral, golden, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cmps {
+		if c.A.EpsMul <= 0 || c.B.EpsMul < 0 {
+			t.Fatalf("corner %v: degenerate errors %+v", c.Job.Config, c)
+		}
+		// Both backends must produce a usable variation criterion (the
+		// golden one comes from Monte-Carlo mismatch sampling).
+		if c.A.SigmaMaxLSB <= 0 || c.B.SigmaMaxLSB <= 0 {
+			t.Errorf("corner %v: σ@max missing (behavioral %.3f, golden %.3f LSB)",
+				c.Job.Config, c.A.SigmaMaxLSB, c.B.SigmaMaxLSB)
+		}
+		if math.Abs(c.DeltaEps) > 2.0 {
+			t.Errorf("corner %v: ϵ disagreement %.2f LSB (behavioral %.2f, golden %.2f)",
+				c.Job.Config, c.DeltaEps, c.A.EpsMul, c.B.EpsMul)
+		}
+		if c.EnergyRatio < 0.7 || c.EnergyRatio > 1.3 {
+			t.Errorf("corner %v: energy ratio %.2f outside [0.7, 1.3] (behavioral %.1f fJ, golden %.1f fJ)",
+				c.Job.Config, c.EnergyRatio, c.A.EMul*1e15, c.B.EMul*1e15)
+		}
+	}
+}

@@ -8,21 +8,33 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"optima/internal/core"
 	"optima/internal/device"
 	"optima/internal/dse"
+	"optima/internal/engine"
 	"optima/internal/spice"
 )
 
 // Context carries the calibrated OPTIMA model and the shared settings of
-// an experiment session.
+// an experiment session. All corner/condition evaluations of a session run
+// through one evaluation engine, so figures, tables and the DSE never
+// re-compute a corner another experiment already scored.
 type Context struct {
-	Model   *core.Model
-	Tech    device.Tech
-	Spice   spice.Config
+	Model *core.Model
+	Tech  device.Tech
+	Spice spice.Config
+	// Workers bounds the evaluation worker pool (0 = GOMAXPROCS). Set it
+	// before the first evaluation.
 	Workers int
+	// Backend selects the evaluation backend by name —
+	// engine.BackendBehavioral (default) or engine.BackendGolden. Set it
+	// before the first evaluation.
+	Backend string
 
+	engOnce      sync.Once
+	eng          *engine.Engine
 	selection    *dse.Selection
 	sweepMetrics []dse.Metrics
 }
@@ -46,10 +58,26 @@ func NewContextWithModel(model *core.Model, tech device.Tech) *Context {
 	return &Context{Model: model, Tech: tech, Spice: spice.DefaultConfig()}
 }
 
+// Engine returns the session's shared evaluation engine, building it from
+// the Backend/Workers settings on first use (concurrency-safe). Backend
+// names taken from user input must be checked with
+// engine.ValidateBackendName before they reach a Context; an invalid name
+// here is a programming error and panics.
+func (c *Context) Engine() *engine.Engine {
+	c.engOnce.Do(func() {
+		backend, err := engine.ByName(c.Backend, c.Model, c.Tech, c.Spice)
+		if err != nil {
+			panic(fmt.Sprintf("exp: %v", err))
+		}
+		c.eng = engine.New(backend, c.Workers)
+	})
+	return c.eng
+}
+
 // Sweep returns the cached 48-corner DSE sweep, running it on first use.
 func (c *Context) Sweep() ([]dse.Metrics, error) {
 	if c.sweepMetrics == nil {
-		mets, err := dse.Sweep(c.Model, dse.DefaultGrid(), c.Workers)
+		mets, err := dse.SweepWith(c.Engine(), dse.DefaultGrid(), device.Nominal())
 		if err != nil {
 			return nil, err
 		}

@@ -2,7 +2,7 @@ package exp
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 
 	"optima/internal/dataset"
 	"optima/internal/dnn"
@@ -11,6 +11,7 @@ import (
 	"optima/internal/quant"
 	"optima/internal/refdata"
 	"optima/internal/report"
+	"optima/internal/sched"
 	"optima/internal/stats"
 )
 
@@ -95,27 +96,25 @@ func (c *Context) RunDNN(scale DNNScale) (*DNNData, error) {
 	capDataset(imagenet, scale.TestCap)
 	capDataset(cifar, scale.TestCap)
 
+	// Per-model fan-out on the shared scheduler: each model trains and
+	// evaluates independently; results come back in Models order. The
+	// session's worker budget is split between the two nesting levels —
+	// models outside, evaluation batches inside — so total concurrency
+	// stays ≈ Workers rather than Workers².
+	inner := splitWorkers(c.Workers, len(scale.Models))
 	type modelResult struct {
 		imagenet, cifar DNNRow
-		err             error
 	}
-	results := make([]modelResult, len(scale.Models))
-	var wg sync.WaitGroup
-	for i, name := range scale.Models {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			img, cif, err := c.runOneModel(name, scale, sel, imagenet, cifar)
-			results[i] = modelResult{imagenet: img, cifar: cif, err: err}
-		}(i, name)
+	results, err := sched.Map(c.Workers, scale.Models, func(_ int, name string) (modelResult, error) {
+		img, cif, err := c.runOneModel(name, scale, sel, imagenet, cifar, inner)
+		return modelResult{imagenet: img, cifar: cif}, err
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	out := &DNNData{}
 	for _, r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
 		out.ImageNet = append(out.ImageNet, r.imagenet)
 		out.CIFAR = append(out.CIFAR, r.cifar)
 	}
@@ -137,8 +136,24 @@ func capDataset(ds *dataset.Dataset, testCap int) {
 	ds.TestY = ds.TestY[:testCap]
 }
 
-// runOneModel executes the full protocol for one network.
-func (c *Context) runOneModel(name string, scale DNNScale, sel dse.Selection, imagenet, cifar *dataset.Dataset) (DNNRow, DNNRow, error) {
+// splitWorkers divides a worker budget (0 = GOMAXPROCS) across n
+// concurrent outer tasks, returning the per-task inner fan-out.
+func splitWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > workers {
+		n = workers
+	}
+	return workers / n
+}
+
+// runOneModel executes the full protocol for one network. evalWorkers
+// bounds the quantized-evaluation fan-out within this model.
+func (c *Context) runOneModel(name string, scale DNNScale, sel dse.Selection, imagenet, cifar *dataset.Dataset, evalWorkers int) (DNNRow, DNNRow, error) {
 	rng := stats.NewRNG(scale.Seed)
 	net, err := dnn.NewZooModel(name, dataset.Channels, dataset.Height, dataset.Width, imagenet.Classes, rng)
 	if err != nil {
@@ -155,7 +170,7 @@ func (c *Context) runOneModel(name string, scale DNNScale, sel dse.Selection, im
 		return DNNRow{}, DNNRow{}, err
 	}
 
-	imgRow, err := c.evaluateAllModes(name, net, scale, sel, imagenet.Train, imagenet.TrainY, imagenet.Test, imagenet.TestY)
+	imgRow, err := c.evaluateAllModes(name, net, scale, sel, evalWorkers, imagenet.Train, imagenet.TrainY, imagenet.Test, imagenet.TestY)
 	if err != nil {
 		return DNNRow{}, DNNRow{}, err
 	}
@@ -171,7 +186,7 @@ func (c *Context) runOneModel(name string, scale DNNScale, sel dse.Selection, im
 	if _, err := net.Fit(cifar.Train, cifar.TrainY, tCfg); err != nil {
 		return DNNRow{}, DNNRow{}, err
 	}
-	cifRow, err := c.evaluateAllModes(name, net, scale, sel, cifar.Train, cifar.TrainY, cifar.Test, cifar.TestY)
+	cifRow, err := c.evaluateAllModes(name, net, scale, sel, evalWorkers, cifar.Train, cifar.TrainY, cifar.Test, cifar.TestY)
 	if err != nil {
 		return DNNRow{}, DNNRow{}, err
 	}
@@ -182,7 +197,7 @@ func (c *Context) runOneModel(name string, scale DNNScale, sel dse.Selection, im
 // a trained network. The network is QAT-fine-tuned and batch-norm-folded in
 // place (evaluation order matters: float first).
 func (c *Context) evaluateAllModes(name string, net *dnn.Network, scale DNNScale, sel dse.Selection,
-	trainX *dnn.Tensor, trainY []int, testX *dnn.Tensor, testY []int) (DNNRow, error) {
+	evalWorkers int, trainX *dnn.Tensor, trainY []int, testX *dnn.Tensor, testY []int) (DNNRow, error) {
 	row := DNNRow{Model: name, MultsMillions: float64(net.MACsPerInference()) / 1e6}
 	row.Float32[0], row.Float32[1] = net.TopKAccuracy(testX, testY, 5)
 
@@ -204,6 +219,7 @@ func (c *Context) evaluateAllModes(name string, net *dnn.Network, scale DNNScale
 	if err != nil {
 		return row, err
 	}
+	qnet.Workers = evalWorkers
 	row.Int4[0], row.Int4[1] = qnet.TopKAccuracy(testX, testY, 5)
 
 	corners := []struct {

@@ -191,14 +191,14 @@ func (c *Context) Fig8() (*Fig8Data, error) {
 		if err := out.SigmaByResult.AddSeries(corner.name, xs, prof.SigmaLSB); err != nil {
 			return nil, err
 		}
-		vddSweep, err := dse.SweepVDD(c.Model, corner.cfg, stats.Linspace(0.90, 1.10, 9))
+		vddSweep, err := dse.SweepVDD(c.Engine(), corner.cfg, stats.Linspace(0.90, 1.10, 9))
 		if err != nil {
 			return nil, err
 		}
 		if err := out.ErrorVsVDD.AddSeries(corner.name, vddSweep.X, vddSweep.AvgError); err != nil {
 			return nil, err
 		}
-		tempSweep, err := dse.SweepTemp(c.Model, corner.cfg, stats.Linspace(0, 60, 7))
+		tempSweep, err := dse.SweepTemp(c.Engine(), corner.cfg, stats.Linspace(0, 60, 7))
 		if err != nil {
 			return nil, err
 		}

@@ -7,7 +7,9 @@ import (
 
 	"optima/internal/core"
 	"optima/internal/dataset"
+	"optima/internal/device"
 	"optima/internal/dnn"
+	"optima/internal/dse"
 	"optima/internal/mult"
 	"optima/internal/refdata"
 )
@@ -276,4 +278,37 @@ func TestContextWithModel(t *testing.T) {
 	}
 	_ = refdata.Table1()
 	_ = dnn.ZooModels()
+}
+
+// TestContextSharesEngineAcrossExperiments checks the session-level cache:
+// Fig. 8's per-corner condition sweeps revisit the nominal condition of
+// corners the 48-corner sweep already scored, and a re-run of the sweep is
+// served entirely from cache.
+func TestContextSharesEngineAcrossExperiments(t *testing.T) {
+	ctx := NewContextWithModel(testContext(t).Model, testContext(t).Tech)
+	if _, err := ctx.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.Engine().Stats()
+	if st.Misses != 48 || st.Entries != 48 {
+		t.Fatalf("48-corner sweep stats %v", st)
+	}
+	if _, err := ctx.Fig8(); err != nil {
+		t.Fatal(err)
+	}
+	st = ctx.Engine().Stats()
+	// Each of the three selected corners sweeps 9 VDD + 7 temperature
+	// points; the VDD=1.0 V point of each corner is the nominal PVT the
+	// 48-corner sweep already scored (the temperature grid skips 27 °C).
+	if st.Hits < 3 {
+		t.Fatalf("Fig. 8 did not reuse sweep results: %v", st)
+	}
+	before := st
+	if _, err := dse.SweepWith(ctx.Engine(), dse.DefaultGrid(), device.Nominal()); err != nil {
+		t.Fatal(err)
+	}
+	st = ctx.Engine().Stats()
+	if st.Misses != before.Misses || st.Hits != before.Hits+48 {
+		t.Fatalf("cached re-sweep evaluated corners: before %v, after %v", before, st)
+	}
 }

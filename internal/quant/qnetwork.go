@@ -16,6 +16,13 @@ type QNetwork struct {
 	stages []qStage
 	// Mult is the scalar multiplier used by all quantized layers.
 	Mult Multiplier
+	// Workers bounds the evaluation fan-out of TopKAccuracy
+	// (0 = GOMAXPROCS). Ignored when the graph or multiplier forces
+	// serial evaluation.
+	Workers int
+	// serialOnly marks a graph with a stage that has no stateless forward;
+	// evaluation then stays on one worker.
+	serialOnly bool
 }
 
 // qStage is one executable stage of the quantized graph.
@@ -27,7 +34,17 @@ type qStage interface {
 type floatStage struct{ layer dnn.Layer }
 
 func (s floatStage) forward(x *dnn.Tensor, _ Multiplier) *dnn.Tensor {
-	return s.layer.Forward(x, false)
+	return inferForward(s.layer, x)
+}
+
+// inferForward runs a float glue layer statelessly so concurrent batches
+// don't race on training state, falling back to the training Forward for
+// uncovered layer types (those graphs evaluate serially).
+func inferForward(l dnn.Layer, x *dnn.Tensor) *dnn.Tensor {
+	if out, ok := dnn.InferenceForward(l, x); ok {
+		return out
+	}
+	return l.Forward(x, false)
 }
 
 // qConv executes a quantized convolution.
@@ -132,7 +149,7 @@ type qResidual struct {
 
 func (s *qResidual) forward(x *dnn.Tensor, m Multiplier) *dnn.Tensor {
 	main := s.conv1.forward(x, m)
-	main = s.relu1.Forward(main, false)
+	main = inferForward(s.relu1, main)
 	main = s.conv2.forward(main, m)
 	skip := x
 	if s.proj != nil {
@@ -142,11 +159,13 @@ func (s *qResidual) forward(x *dnn.Tensor, m Multiplier) *dnn.Tensor {
 	for i := range sum.Data {
 		sum.Data[i] += skip.Data[i]
 	}
-	return s.relu2.Forward(sum, false)
+	return inferForward(s.relu2, sum)
 }
 
 // Forward runs the quantized network on a float input tensor and returns
-// float logits.
+// float logits. It is safe for concurrent use when every stage has a
+// stateless forward and the multiplier is deterministic — the conditions
+// evalWorkers checks before fanning batches out.
 func (q *QNetwork) Forward(x *dnn.Tensor) *dnn.Tensor {
 	for _, s := range q.stages {
 		x = s.forward(x, q.Mult)
@@ -154,9 +173,31 @@ func (q *QNetwork) Forward(x *dnn.Tensor) *dnn.Tensor {
 	return x
 }
 
-// TopKAccuracy evaluates the quantized network.
+// TopKAccuracy evaluates the quantized network, fanning batches out across
+// the engine scheduler when the graph and multiplier allow it.
 func (q *QNetwork) TopKAccuracy(x *dnn.Tensor, labels []int, k int) (top1, topk float64) {
-	return dnn.EvalTopK(q.Forward, x, labels, k, 32)
+	return dnn.EvalTopKWorkers(q.Forward, x, labels, k, 32, q.evalWorkers())
+}
+
+// evalWorkers returns the evaluation fan-out width: the configured bound
+// when concurrent forwards cannot race, one worker otherwise.
+func (q *QNetwork) evalWorkers() int {
+	if q.serialOnly || !multSafe(q.Mult) {
+		return 1
+	}
+	return q.Workers
+}
+
+// multSafe reports whether the multiplier tolerates concurrent Mul calls.
+// Unknown implementations are conservatively treated as serial.
+func multSafe(m Multiplier) bool {
+	switch t := m.(type) {
+	case Exact:
+		return true
+	case *InMemory:
+		return t.Deterministic()
+	}
+	return false
 }
 
 // Quantize converts a trained float network to INT4 quantized execution.
@@ -188,6 +229,9 @@ func Quantize(net *dnn.Network, calib *dnn.Tensor) (*QNetwork, error) {
 			// Folded: identity at inference; keep for shape fidelity.
 			x = t.Forward(x, false)
 		default:
+			if !dnn.StatelessCapable(l) {
+				q.serialOnly = true
+			}
 			q.stages = append(q.stages, floatStage{layer: l})
 			x = l.Forward(x, false)
 		}

@@ -9,6 +9,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"optima/internal/mult"
 	"optima/internal/stats"
@@ -45,8 +46,7 @@ type InMemory struct {
 	// Sigma[a][d] is the per-operation noise in LSBs.
 	Sigma [mult.OperandMax + 1][WeightMax + 1]float64
 	rng   *stats.RNG
-	// Ops counts multiplications performed (Table II bookkeeping).
-	Ops int64
+	ops   atomic.Int64
 }
 
 // NewInMemory builds the lookup-table multiplier for one behavioral
@@ -67,9 +67,16 @@ func NewInMemory(b *mult.Behavioral, rng *stats.RNG) (*InMemory, error) {
 	return im, nil
 }
 
+// Ops returns the multiplications performed (Table II bookkeeping).
+func (im *InMemory) Ops() int64 { return im.ops.Load() }
+
+// Deterministic reports whether Mul uses the noise-free mean transfer
+// (nil RNG) and is therefore safe for concurrent use.
+func (im *InMemory) Deterministic() bool { return im.rng == nil }
+
 // Mul implements Multiplier.
 func (im *InMemory) Mul(a uint8, w int8) int32 {
-	im.Ops++
+	im.ops.Add(1)
 	d := w
 	neg := false
 	if d < 0 {

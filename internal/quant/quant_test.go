@@ -166,7 +166,7 @@ func TestQuantizedExactVsInMemoryDeterministic(t *testing.T) {
 	if exactTop1-fomTop1 > 25 {
 		t.Fatalf("fom corner dropped too much: %g%% → %g%%", exactTop1, fomTop1)
 	}
-	if im.Ops == 0 {
+	if im.Ops() == 0 {
 		t.Fatal("in-memory multiplier was never used")
 	}
 }
