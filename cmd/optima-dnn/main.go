@@ -7,13 +7,16 @@
 //
 // Usage:
 //
-//	optima-dnn [-out dir] [-bench] [-noisy] [-model in.json] [-workers N] [-backend B]
+//	optima-dnn [-out dir] [-bench] [-noisy] [-model in.json] [-workers N] [-backend B] [-cache-dir dir]
 //
 // -bench runs the reduced protocol used by the benchmark harness; -noisy
 // samples per-operation mismatch in the multiplier LUT (extension — the
 // tables' protocol uses the deterministic calibrated transfer). -workers
 // bounds the evaluation/training worker pool (0 = all CPUs); -backend
-// selects the corner-selection backend (behavioral or golden).
+// selects the corner-selection backend (behavioral or golden); -cache-dir
+// persists corner-selection results in the shared content-addressed result
+// store (internal/store), so a preceding `optima dse -cache-dir <dir>` makes
+// corner selection here free.
 package main
 
 import (
@@ -35,15 +38,17 @@ func main() {
 	modelPath := flag.String("model", "", "load a calibrated model instead of recalibrating")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
 	backend := flag.String("backend", engine.BackendBehavioral, "corner-selection backend: behavioral or golden")
+	cacheDir := flag.String("cache-dir", "",
+		"persist evaluation results in this directory (shared across runs; keyed by the calibration fingerprint)")
 	flag.Parse()
 
-	if err := run(*outDir, *bench, *noisy, *modelPath, *workers, *backend); err != nil {
+	if err := run(*outDir, *bench, *noisy, *modelPath, *workers, *backend, *cacheDir); err != nil {
 		fmt.Fprintln(os.Stderr, "optima-dnn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, bench, noisy bool, modelPath string, workers int, backend string) error {
+func run(outDir string, bench, noisy bool, modelPath string, workers int, backend, cacheDir string) error {
 	if err := engine.ValidateBackendName(backend); err != nil {
 		return err
 	}
@@ -66,6 +71,8 @@ func run(outDir string, bench, noisy bool, modelPath string, workers int, backen
 	}
 	ctx.Workers = workers
 	ctx.Backend = backend
+	ctx.CacheDir = cacheDir
+	defer ctx.Close()
 
 	sel, err := ctx.Selection()
 	if err != nil {

@@ -5,16 +5,24 @@
 // Usage:
 //
 //	optima calibrate [-quick] [-model out.json]
-//	optima figures   [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B]
-//	optima dse       [-out dir] [-model in.json] [-workers N] [-backend B]
-//	optima pvt       [-out dir] [-tau0 ns] [-vdac0 V] [-vdacfs V] [-corners] [-workers N] [-backend B]
+//	optima figures   [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B] [-cache-dir dir]
+//	optima dse       [-out dir] [-model in.json] [-workers N] [-backend B] [-cache-dir dir]
+//	optima pvt       [-out dir] [-tau0 ns] [-vdac0 V] [-vdacfs V] [-corners] [-workers N] [-backend B] [-cache-dir dir]
 //	optima speedup   [-model in.json] [-mc N]
-//	optima all       [-out dir] [-mc N] [-workers N] [-backend B]
+//	optima all       [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B] [-cache-dir dir]
 //
 // -workers bounds the evaluation engine's worker pool (0 = all CPUs);
 // -backend selects behavioral (calibrated models, fast) or golden
 // (transistor-level transients — the reference, orders of magnitude
 // slower). Sweep output is identical for any worker count.
+//
+// -cache-dir roots the persistent content-addressed result store
+// (internal/store): evaluation results are keyed on (backend, config,
+// condition) plus the calibration fingerprint and shared across runs, so
+// `optima all -cache-dir out/cache` after `optima dse -cache-dir out/cache`
+// re-evaluates nothing. Use the same -model (or recalibrate identically)
+// across runs — a different calibration changes the fingerprint and starts
+// a fresh result set.
 //
 // Every artifact is written as .txt/.csv (tables) and .svg (charts) into
 // the output directory (default ./out).
@@ -81,16 +89,19 @@ commands:
 
 // engineFlags registers the evaluation-engine flags shared by the
 // sweep-running subcommands.
-func engineFlags(fs *flag.FlagSet) (workers *int, backend *string) {
+func engineFlags(fs *flag.FlagSet) (workers *int, backend, cacheDir *string) {
 	workers = fs.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
 	backend = fs.String("backend", engine.BackendBehavioral,
 		"evaluation backend: behavioral (fast models) or golden (transient simulation; orders of magnitude slower)")
-	return workers, backend
+	cacheDir = fs.String("cache-dir", "",
+		"persist evaluation results in this directory (shared across runs; keyed by the calibration fingerprint)")
+	return workers, backend, cacheDir
 }
 
 // makeContext builds an experiment context, loading a model when given.
-// workers and backend configure the context's evaluation engine.
-func makeContext(modelPath string, quick bool, workers int, backend string) (*exp.Context, error) {
+// workers, backend and cacheDir configure the context's evaluation engine.
+// Callers should defer ctx.Close() so the persistent store flushes.
+func makeContext(modelPath string, quick bool, workers int, backend, cacheDir string) (*exp.Context, error) {
 	if err := engine.ValidateBackendName(backend); err != nil {
 		return nil, err
 	}
@@ -118,6 +129,7 @@ func makeContext(modelPath string, quick bool, workers int, backend string) (*ex
 	}
 	ctx.Workers = workers
 	ctx.Backend = backend
+	ctx.CacheDir = cacheDir
 	return ctx, nil
 }
 
@@ -163,14 +175,15 @@ func runFigures(args []string) error {
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
 	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
-	workers, backend := engineFlags(fs)
+	workers, backend, cacheDir := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir)
 	if err != nil {
 		return err
 	}
+	defer ctx.Close()
 	out, err := report.NewOutput(*outDir)
 	if err != nil {
 		return err
@@ -241,14 +254,15 @@ func runDSE(args []string) error {
 	fs := flag.NewFlagSet("dse", flag.ExitOnError)
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
-	workers, backend := engineFlags(fs)
+	workers, backend, cacheDir := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir)
 	if err != nil {
 		return err
 	}
+	defer ctx.Close()
 	out, err := report.NewOutput(*outDir)
 	if err != nil {
 		return err
@@ -256,7 +270,7 @@ func runDSE(args []string) error {
 	if err := writeDSE(ctx, out); err != nil {
 		return err
 	}
-	fmt.Printf("engine [%s]: %v\n", ctx.Engine().Backend().Name(), ctx.Engine().Stats())
+	printEngineStats(ctx)
 	return nil
 }
 
@@ -319,14 +333,15 @@ func runPVT(args []string) error {
 	vdac0 := fs.Float64("vdac0", 0.3, "DAC output for code 0 [V]")
 	vdacfs := fs.Float64("vdacfs", 1.0, "DAC full-scale output [V]")
 	corners := fs.Bool("corners", true, "run the golden process-corner check (slow)")
-	workers, backend := engineFlags(fs)
+	workers, backend, cacheDir := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir)
 	if err != nil {
 		return err
 	}
+	defer ctx.Close()
 	out, err := report.NewOutput(*outDir)
 	if err != nil {
 		return err
@@ -371,7 +386,7 @@ func runSpeedup(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, 0, engine.BackendBehavioral)
+	ctx, err := makeContext(*modelPath, false, 0, engine.BackendBehavioral, "")
 	if err != nil {
 		return err
 	}
@@ -401,14 +416,16 @@ func runAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	outDir := fs.String("out", "out", "artifact directory")
 	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
-	workers, backend := engineFlags(fs)
+	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
+	workers, backend, cacheDir := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext("", false, *workers, *backend)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir)
 	if err != nil {
 		return err
 	}
+	defer ctx.Close()
 	out, err := report.NewOutput(*outDir)
 	if err != nil {
 		return err
@@ -423,5 +440,18 @@ func runAll(args []string) error {
 	if err := writeDSE(ctx, out); err != nil {
 		return err
 	}
-	return writeSpeedup(ctx, out, 200)
+	if err := writeSpeedup(ctx, out, 200); err != nil {
+		return err
+	}
+	printEngineStats(ctx)
+	return nil
+}
+
+// printEngineStats logs the evaluation-cache accounting, including the
+// persistent store's contents when one is attached.
+func printEngineStats(ctx *exp.Context) {
+	fmt.Printf("engine [%s]: %v\n", ctx.Engine().Backend().Name(), ctx.Engine().Stats())
+	if st := ctx.Store(); st != nil {
+		fmt.Printf("result store [%s]: %v\n", st.Dir(), st.Stats())
+	}
 }

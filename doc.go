@@ -9,7 +9,11 @@
 // internal/core and the 4-bit in-SRAM multiplier case study in internal/mult.
 // All corner/condition evaluations route through the concurrent memoizing
 // evaluation service in internal/engine, which the exploration layers
-// (internal/dse, internal/exp) submit jobs to. Command-line tools under
-// cmd/ and the benchmarks in bench_test.go regenerate every table and
-// figure of the paper's evaluation.
+// (internal/dse, internal/exp) submit jobs to — singly or via the batched
+// submission path. The engine's cache is tiered: in-memory, then the
+// persistent content-addressed result store in internal/store (an
+// append-only segment log keyed on (backend, config, condition) plus a
+// calibration fingerprint; enabled with -cache-dir), then the backend.
+// Command-line tools under cmd/ and the benchmarks in bench_test.go
+// regenerate every table and figure of the paper's evaluation.
 package optima

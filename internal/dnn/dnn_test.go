@@ -3,6 +3,7 @@ package dnn
 import (
 	"math"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"optima/internal/stats"
@@ -363,4 +364,82 @@ func randomTensor(rng *stats.RNG, n, c, h, w int) *Tensor {
 		x.Data[i] = rng.Gaussian(0, 1)
 	}
 	return x
+}
+
+// TestInferMatchesForward pins the stateless inference path against the
+// training forward in eval mode, across every built-in layer type (the zoo
+// covers conv, batch-norm, ReLU, pooling, residual blocks and dense heads).
+func TestInferMatchesForward(t *testing.T) {
+	rng := stats.NewRNG(11)
+	for _, name := range ZooModels() {
+		net, err := NewZooModel(name, 3, 12, 12, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !net.StatelessOnly() {
+			t.Fatalf("%s has a layer without a stateless forward", name)
+		}
+		x := randomTensor(rng, 3, 3, 12, 12)
+		want := net.Forward(x, false)
+		got := net.Infer(x)
+		if len(got.Data) != len(want.Data) {
+			t.Fatalf("%s: shape mismatch %s vs %s", name, got.Shape(), want.Shape())
+		}
+		for i := range want.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+				t.Fatalf("%s: Infer diverges from Forward at %d: %g vs %g",
+					name, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentInferRaceFree runs parallel Infer calls on one network
+// under -race: the split of inference from training state is exactly what
+// makes this legal.
+func TestConcurrentInferRaceFree(t *testing.T) {
+	rng := stats.NewRNG(12)
+	net, err := NewZooModel("ResNet50S", 3, 12, 12, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomTensor(rng, 2, 3, 12, 12)
+	want := net.Infer(x)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := net.Infer(x)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Errorf("concurrent Infer diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestTopKAccuracyWorkerInvariance: the parallel evaluation path must give
+// the exact same accuracies as a serial pass.
+func TestTopKAccuracyWorkerInvariance(t *testing.T) {
+	rng := stats.NewRNG(13)
+	net, err := NewZooModel("VGG16S", 3, 12, 12, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randomTensor(rng, 70, 3, 12, 12)
+	labels := make([]int, 70)
+	for i := range labels {
+		labels[i] = int(rng.Uint64() % 4)
+	}
+	net.EvalWorkers = 1
+	s1, sk := net.TopKAccuracy(x, labels, 2)
+	net.EvalWorkers = 8
+	p1, pk := net.TopKAccuracy(x, labels, 2)
+	if s1 != p1 || sk != pk {
+		t.Fatalf("worker count changed the result: serial (%g, %g) vs parallel (%g, %g)", s1, sk, p1, pk)
+	}
 }

@@ -3,9 +3,11 @@ package dnn
 import "math"
 
 // StatelessCapable reports whether InferenceForward covers the layer type.
+// Every built-in layer is covered; only user-defined layer types fall back
+// to the (stateful) training Forward.
 func StatelessCapable(l Layer) bool {
 	switch l.(type) {
-	case *ReLU, *MaxPool2, *GlobalAvgPool, *BatchNorm2D:
+	case *Conv2D, *Dense, *ReLU, *MaxPool2, *GlobalAvgPool, *BatchNorm2D, *Residual:
 		return true
 	}
 	return false
@@ -14,20 +16,18 @@ func StatelessCapable(l Layer) bool {
 // InferenceForward computes the inference-mode forward of a layer without
 // mutating it. The training Forward methods record state for Backward
 // (ReLU masks, pool argmax, conv inputs), which makes them unsafe for
-// concurrent evaluation; this path covers the stateless-capable layer
-// types so quantized networks can fan batches out across workers. Returns
-// ok = false for layer types that have no stateless forward (Conv2D,
-// Dense) — callers must fall back to the serial path.
+// concurrent evaluation; this path covers every built-in layer type so both
+// float and quantized networks can fan batches out across workers. Returns
+// ok = false for user-defined layer types with no stateless forward —
+// callers must fall back to the serial path.
 func InferenceForward(l Layer, x *Tensor) (*Tensor, bool) {
 	switch t := l.(type) {
+	case *Conv2D:
+		return t.infer(x), true
+	case *Dense:
+		return t.infer(x), true
 	case *ReLU:
-		out := x.Clone()
-		for i, v := range out.Data {
-			if v < 0 {
-				out.Data[i] = 0
-			}
-		}
-		return out, true
+		return reluInfer(x), true
 	case *MaxPool2:
 		oh, ow := x.H/2, x.W/2
 		out := NewTensor(x.N, x.C, oh, ow)
@@ -67,7 +67,39 @@ func InferenceForward(l Layer, x *Tensor) (*Tensor, bool) {
 		// The eval-mode forward reads only running statistics — already
 		// stateless.
 		return t.Forward(x, false), true
+	case *Residual:
+		return t.infer(x), true
 	default:
 		return nil, false
 	}
+}
+
+// reluInfer is the stateless rectifier (no backward mask).
+func reluInfer(x *Tensor) *Tensor {
+	out := x.Clone()
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// infer composes the block's stateless stages (see Residual.Forward for the
+// training-path structure this mirrors).
+func (r *Residual) infer(x *Tensor) *Tensor {
+	main := r.Conv1.infer(x)
+	main = r.BN1.Forward(main, false)
+	main = reluInfer(main)
+	main = r.Conv2.infer(main)
+	main = r.BN2.Forward(main, false)
+	skip := x
+	if r.Proj != nil {
+		skip = r.Proj.infer(x)
+	}
+	sum := main.Clone()
+	for i := range sum.Data {
+		sum.Data[i] += skip.Data[i]
+	}
+	return reluInfer(sum)
 }

@@ -73,10 +73,16 @@ func (c *Conv2D) wIdx(oc, ic, kh, kw int) int {
 
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *Tensor, train bool) *Tensor {
+	c.lastIn = x
+	return c.infer(x)
+}
+
+// infer computes the convolution without recording training state, so it is
+// safe for concurrent inference (see InferenceForward).
+func (c *Conv2D) infer(x *Tensor) *Tensor {
 	if x.C != c.InC {
 		panic(fmt.Sprintf("dnn: %s expects %d channels, got %s", c.name, c.InC, x.Shape()))
 	}
-	c.lastIn = x
 	out := NewTensor(x.N, c.OutC, x.H, x.W)
 	pad := c.K / 2
 	for n := 0; n < x.N; n++ {
@@ -187,10 +193,16 @@ func (d *Dense) MACs(c, h, w int) (int64, int, int, int) {
 
 // Forward implements Layer.
 func (d *Dense) Forward(x *Tensor, train bool) *Tensor {
+	d.lastIn = x
+	return d.infer(x)
+}
+
+// infer computes the dense transform without recording training state, so
+// it is safe for concurrent inference (see InferenceForward).
+func (d *Dense) infer(x *Tensor) *Tensor {
 	if x.FeatureLen() != d.In {
 		panic(fmt.Sprintf("dnn: %s expects %d features, got %s", d.name, d.In, x.Shape()))
 	}
-	d.lastIn = x
 	out := NewTensor(x.N, d.Out, 1, 1)
 	for n := 0; n < x.N; n++ {
 		xoff := n * d.In

@@ -18,6 +18,10 @@ type Network struct {
 	Layers []Layer
 	// InC/InH/InW record the expected input shape for MAC counting.
 	InC, InH, InW int
+	// EvalWorkers bounds the batch fan-out of TopKAccuracy (0 = GOMAXPROCS).
+	// Evaluation falls back to one worker when the network contains a
+	// user-defined layer without a stateless forward.
+	EvalWorkers int
 }
 
 // NewNetwork creates an empty network for the given input shape.
@@ -46,12 +50,41 @@ func (n *Network) NumParams() int {
 	return total
 }
 
-// Forward runs the network and returns the logits.
+// Forward runs the network and returns the logits. The layers record state
+// for Backward, so Forward is not safe for concurrent use — inference-only
+// callers should prefer Infer.
 func (n *Network) Forward(x *Tensor, train bool) *Tensor {
 	for _, l := range n.Layers {
 		x = l.Forward(x, train)
 	}
 	return x
+}
+
+// Infer runs a stateless inference pass and returns the logits. For the
+// built-in layer types no training state is touched, so concurrent Infer
+// calls on one network are race-free — the property batched evaluation
+// relies on. User-defined layers without a stateless forward fall back to
+// their training Forward (see StatelessOnly).
+func (n *Network) Infer(x *Tensor) *Tensor {
+	for _, l := range n.Layers {
+		if out, ok := InferenceForward(l, x); ok {
+			x = out
+			continue
+		}
+		x = l.Forward(x, false)
+	}
+	return x
+}
+
+// StatelessOnly reports whether every layer has a stateless inference
+// forward, i.e. whether concurrent Infer calls are race-free.
+func (n *Network) StatelessOnly() bool {
+	for _, l := range n.Layers {
+		if !StatelessCapable(l) {
+			return false
+		}
+	}
+	return true
 }
 
 // Backward propagates dL/dlogits through all layers.
@@ -241,11 +274,17 @@ func (n *Network) Fit(x *Tensor, labels []int, cfg TrainConfig) (float64, error)
 }
 
 // TopKAccuracy evaluates top-1 and top-k accuracy of the network's float
-// forward pass (batched internally). The float layers record training
-// state in Forward, so evaluation stays on one worker; quantized networks
-// (internal/quant) fan batches out.
+// inference pass, fanning batches out across the shared scheduler (the
+// stateless Infer path makes concurrent batches race-free, mirroring the
+// quantized networks in internal/quant). Results are independent of the
+// worker count; networks containing a user-defined layer without a
+// stateless forward evaluate serially.
 func (n *Network) TopKAccuracy(x *Tensor, labels []int, k int) (top1, topk float64) {
-	return EvalTopKWorkers(func(b *Tensor) *Tensor { return n.Forward(b, false) }, x, labels, k, 32, 1)
+	workers := n.EvalWorkers
+	if !n.StatelessOnly() {
+		workers = 1
+	}
+	return EvalTopKWorkers(n.Infer, x, labels, k, 32, workers)
 }
 
 // EvalTopK scores an arbitrary classifier function batch-by-batch on one

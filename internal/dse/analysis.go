@@ -98,10 +98,10 @@ func SweepTemp(eng *engine.Engine, cfg mult.Config, temps []float64) (ConditionS
 	return conditionSweep(eng, cfg, temps, jobs)
 }
 
-// conditionSweep fans the condition jobs out on the engine and collects the
-// per-condition error/energy curves in sweep order.
+// conditionSweep submits the condition jobs as one engine batch and
+// collects the per-condition error/energy curves in sweep order.
 func conditionSweep(eng *engine.Engine, cfg mult.Config, xs []float64, jobs []engine.Job) (ConditionSweep, error) {
-	mets, err := eng.EvaluateAll(jobs)
+	mets, err := eng.EvaluateBatch(jobs)
 	if err != nil {
 		return ConditionSweep{}, err
 	}

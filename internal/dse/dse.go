@@ -77,10 +77,12 @@ func Sweep(model *core.Model, grid Grid, workers int) ([]Metrics, error) {
 }
 
 // SweepWith evaluates every corner of the grid at cond through the given
-// engine. Results come back in grid order regardless of the engine's
-// worker count.
+// engine's batched submission path: one batch claims the whole grid, so
+// per-job scheduling is amortized and — when the engine has a persistent
+// store attached — freshly computed corners persist in groups. Results come
+// back in grid order regardless of the engine's worker count.
 func SweepWith(eng *engine.Engine, grid Grid, cond device.PVT) ([]Metrics, error) {
-	mets, err := eng.EvaluateAll(engine.Jobs(grid.Configs(), cond))
+	mets, err := eng.EvaluateBatch(engine.Jobs(grid.Configs(), cond))
 	if err != nil {
 		return nil, fmt.Errorf("dse: %w", err)
 	}

@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"optima/internal/core"
 	"optima/internal/device"
@@ -36,7 +38,7 @@ func ByName(name string, model *core.Model, tech device.Tech, scfg spice.Config)
 		return nil, err
 	}
 	if name == BackendGolden {
-		return Golden{Tech: tech, Spice: scfg}, nil
+		return NewGoldenBackend(tech, scfg), nil
 	}
 	return Behavioral{Model: model}, nil
 }
@@ -125,14 +127,60 @@ func (b Behavioral) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) 
 // Golden is the reference backend: every evaluation runs the full input
 // space through transistor-level transient simulation (hundreds of
 // transients per corner — orders of magnitude slower; that gap is the
-// paper's headline speed-up).
+// paper's headline speed-up). The backend memoizes the 16 per-configuration
+// ADC trim transients across operating conditions: the trim depends only on
+// the configuration, so a PVT sweep over one corner pays it once instead of
+// once per condition. Use NewGoldenBackend; the zero value also works (the
+// trim cache initializes lazily).
 type Golden struct {
 	Tech  device.Tech
 	Spice spice.Config
+
+	mu    sync.Mutex
+	trims map[mult.Config]mult.GoldenTrim
+	// trimCals counts trim calibrations actually run (observability for
+	// tests and the trim-cache benchmark).
+	trimCals atomic.Int64
+}
+
+// NewGoldenBackend returns a golden backend with an empty trim cache.
+func NewGoldenBackend(tech device.Tech, scfg spice.Config) *Golden {
+	return &Golden{Tech: tech, Spice: scfg, trims: map[mult.Config]mult.GoldenTrim{}}
 }
 
 // Name implements Backend.
-func (Golden) Name() string { return BackendGolden }
+func (*Golden) Name() string { return BackendGolden }
+
+// TrimCalibrations returns how many trim calibrations (16 golden transients
+// each) the backend has run — evaluations beyond the first per configuration
+// hit the cache and add nothing.
+func (g *Golden) TrimCalibrations() int64 { return g.trimCals.Load() }
+
+// trimFor returns the configuration's ADC trim, calibrating on first use.
+// Concurrent first calibrations of the same configuration may race and
+// duplicate the work (both compute the same deterministic result); the
+// sweep layers submit each configuration once per batch, so in practice the
+// calibration runs once.
+func (g *Golden) trimFor(cfg mult.Config) (mult.GoldenTrim, error) {
+	g.mu.Lock()
+	trim, ok := g.trims[cfg]
+	g.mu.Unlock()
+	if ok {
+		return trim, nil
+	}
+	g.trimCals.Add(1)
+	trim, err := mult.CalibrateGoldenTrim(g.Tech, cfg, g.Spice)
+	if err != nil {
+		return mult.GoldenTrim{}, err
+	}
+	g.mu.Lock()
+	if g.trims == nil {
+		g.trims = map[mult.Config]mult.GoldenTrim{}
+	}
+	g.trims[cfg] = trim
+	g.mu.Unlock()
+	return trim, nil
+}
 
 // GoldenSigmaSamples is the Monte-Carlo mismatch population the golden
 // backend uses to estimate σ at the maximum discharge — the variation-
@@ -141,8 +189,12 @@ func (Golden) Name() string { return BackendGolden }
 const GoldenSigmaSamples = 24
 
 // Evaluate implements Backend.
-func (g Golden) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
-	gm, err := mult.NewGolden(g.Tech, cfg, cond, g.Spice)
+func (g *Golden) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
+	trim, err := g.trimFor(cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	gm, err := mult.NewGoldenWithTrim(g.Tech, cfg, cond, g.Spice, trim)
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -7,10 +7,16 @@
 // The engine separates *evaluation* from *exploration* (the compiler-style
 // split of OpenACM): exploration layers (internal/dse, internal/exp) decide
 // which (config, condition) jobs to run; the engine decides how — a bounded
-// worker pool with deterministic result ordering, a content-addressed
-// in-memory result cache keyed on (backend, config, condition), and a
-// pluggable Backend so the same sweep can run against the fast behavioral
-// models or the golden transient solver (or both, for comparison mode).
+// worker pool with deterministic result ordering, a tiered content-addressed
+// result cache keyed on (backend, config, condition), and a pluggable
+// Backend so the same sweep can run against the fast behavioral models or
+// the golden transient solver (or both, for comparison mode).
+//
+// The cache has up to three tiers: the in-memory map (always on), an
+// optional persistent Store (internal/store — survives the process, shared
+// across runs and CI jobs), and the backend itself. Lookups fall through
+// memory → store → backend; results computed by the backend are written
+// back to the store, in groups on the batched submission path.
 package engine
 
 import (
@@ -22,6 +28,12 @@ import (
 	"optima/internal/mult"
 	"optima/internal/sched"
 )
+
+// MetricsSchema versions the semantic content of Metrics. It participates
+// in the persistent store's fingerprint, so bumping it invalidates every
+// previously persisted result. Bump it whenever the meaning or computation
+// of any Metrics field changes.
+const MetricsSchema = 1
 
 // Job is one unit of evaluation work: score a multiplier configuration at
 // an operating condition over the full input space.
@@ -38,20 +50,49 @@ type Key struct {
 	Job
 }
 
+// CacheEntry pairs a key with its metrics — the unit a Store persists.
+type CacheEntry struct {
+	Key Key
+	Met Metrics
+}
+
+// Store is the optional persistent tier of the result cache. Implementations
+// must be safe for concurrent use. Get misses are cheap (in-memory index);
+// PutBatch appends a group of freshly computed results durably. The
+// canonical implementation is internal/store; the interface stays here so a
+// future key-range-sharded or remote store drops in without touching the
+// exploration layers.
+type Store interface {
+	Get(Key) (Metrics, bool)
+	PutBatch([]CacheEntry) error
+}
+
 // Stats reports the engine's cache accounting.
 type Stats struct {
-	// Hits counts evaluations served from the cache (including waits on an
-	// in-flight computation of the same key).
+	// Hits counts evaluations served from the in-memory tier (including
+	// waits on an in-flight computation of the same key).
 	Hits uint64
+	// DiskHits counts evaluations served from the persistent store tier.
+	DiskHits uint64
 	// Misses counts evaluations that ran the backend.
 	Misses uint64
-	// Entries is the number of distinct results held.
+	// StoreErrors counts failed persistence attempts (the result is still
+	// returned and cached in memory; the store write is best-effort).
+	StoreErrors uint64
+	// Entries is the number of distinct results held in memory.
 	Entries int
 }
 
 // String renders the accounting for log lines.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d evaluated, %d cache hits, %d entries", s.Misses, s.Hits, s.Entries)
+	out := fmt.Sprintf("%d evaluated, %d cache hits, %d entries", s.Misses, s.Hits, s.Entries)
+	if s.DiskHits > 0 || s.StoreErrors > 0 {
+		out += fmt.Sprintf(", %d store hits", s.DiskHits)
+	}
+	if s.StoreErrors > 0 {
+		out += fmt.Sprintf(", %d store errors", s.StoreErrors)
+	}
+	return out
 }
 
 // entry is one cache slot. done is closed when met/err are valid, so
@@ -67,17 +108,30 @@ type entry struct {
 type Engine struct {
 	backend Backend
 	workers int
+	store   Store // nil = memory-only cache
 
-	mu     sync.Mutex
-	cache  map[Key]*entry
-	hits   uint64
-	misses uint64
+	mu        sync.Mutex
+	cache     map[Key]*entry
+	hits      uint64
+	diskHits  uint64
+	misses    uint64
+	storeErrs uint64
 }
 
 // New returns an engine over the given backend. workers bounds the worker
 // pool of EvaluateAll; workers <= 0 uses GOMAXPROCS.
 func New(backend Backend, workers int) *Engine {
 	return &Engine{backend: backend, workers: workers, cache: map[Key]*entry{}}
+}
+
+// WithStore attaches a persistent store tier and returns the engine (for
+// chaining). Call before the first evaluation; results computed earlier are
+// not back-filled.
+func (e *Engine) WithStore(s Store) *Engine {
+	e.mu.Lock()
+	e.store = s
+	e.mu.Unlock()
+	return e
 }
 
 // Backend returns the engine's backend.
@@ -95,13 +149,17 @@ func (e *Engine) Workers() int {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Stats{Hits: e.hits, Misses: e.misses, Entries: len(e.cache)}
+	return Stats{
+		Hits: e.hits, DiskHits: e.diskHits, Misses: e.misses,
+		StoreErrors: e.storeErrs, Entries: len(e.cache),
+	}
 }
 
-// Evaluate scores one job, serving repeats from the cache. Concurrent
-// submissions of the same key share a single backend evaluation. Errors are
-// cached too: backends are deterministic, so a failing corner fails the
-// same way every time.
+// Evaluate scores one job, serving repeats from the memory tier, then the
+// persistent store, then the backend. Concurrent submissions of the same
+// key share a single lookup/evaluation. Errors are cached in memory (not
+// persisted): backends are deterministic, so a failing corner fails the
+// same way every time within a process.
 func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 	key := Key{Backend: e.backend.Name(), Job: Job{Config: cfg, Cond: cond}}
 	e.mu.Lock()
@@ -111,27 +169,150 @@ func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 		<-ent.done
 		return ent.met, ent.err
 	}
-	e.misses++
 	ent := &entry{done: make(chan struct{})}
 	e.cache[key] = ent
+	store := e.store
 	e.mu.Unlock()
 
+	if store != nil {
+		if met, ok := store.Get(key); ok {
+			e.mu.Lock()
+			e.diskHits++
+			e.mu.Unlock()
+			ent.met = met
+			close(ent.done)
+			return met, nil
+		}
+	}
+
+	e.mu.Lock()
+	e.misses++
+	e.mu.Unlock()
 	ent.met, ent.err = e.backend.Evaluate(cfg, cond)
 	close(ent.done)
+	if store != nil && ent.err == nil {
+		e.persist([]CacheEntry{{Key: key, Met: ent.met}})
+	}
 	return ent.met, ent.err
 }
 
-// EvaluateAll scores every job on the shared scheduler (internal/sched)
-// and returns the metrics in job order — the result is independent of the
-// worker count. The first error (by job index) aborts the sweep.
-func (e *Engine) EvaluateAll(jobs []Job) ([]Metrics, error) {
-	return sched.Map(e.Workers(), jobs, func(_ int, j Job) (Metrics, error) {
-		m, err := e.Evaluate(j.Config, j.Cond)
-		if err != nil {
-			return Metrics{}, fmt.Errorf("engine: %s corner %v: %w", e.backend.Name(), j.Config, err)
+// persist writes freshly computed results to the store tier, best-effort:
+// a failing store never fails an evaluation, it only loses cache warmth.
+func (e *Engine) persist(batch []CacheEntry) {
+	if len(batch) == 0 {
+		return
+	}
+	if err := e.store.PutBatch(batch); err != nil {
+		e.mu.Lock()
+		e.storeErrs++
+		e.mu.Unlock()
+	}
+}
+
+// EvaluateBatch is the batched submission path: it claims every distinct
+// missing key of the batch in one pass (amortizing per-job lock traffic),
+// consults the store tier once per key, fans the remaining evaluations out
+// on the shared scheduler (internal/sched), and persists the newly computed
+// results in a single group write. Results come back in job order —
+// independent of the worker count — and duplicate jobs within the batch
+// share one evaluation. The first failing job (by index) determines the
+// returned error; unlike a plain loop over Evaluate, the batch runs to
+// completion so every claimed key ends up resolved.
+func (e *Engine) EvaluateBatch(jobs []Job) ([]Metrics, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	bname := e.backend.Name()
+
+	// Phase 1: one locked pass claims every key this batch will compute and
+	// resolves the rest against the memory tier.
+	ents := make([]*entry, len(jobs))
+	owned := make(map[Key]*entry)
+	var ownedKeys []Key
+	e.mu.Lock()
+	store := e.store
+	for i, j := range jobs {
+		key := Key{Backend: bname, Job: j}
+		if ent, ok := e.cache[key]; ok {
+			// Cached, in flight elsewhere, or a duplicate earlier in this
+			// batch — all share the entry.
+			e.hits++
+			ents[i] = ent
+			continue
 		}
-		return m, nil
-	})
+		ent := &entry{done: make(chan struct{})}
+		e.cache[key] = ent
+		owned[key] = ent
+		ownedKeys = append(ownedKeys, key)
+		ents[i] = ent
+	}
+	e.mu.Unlock()
+
+	// Phase 2: store tier. The index lookup is memory-speed, so this stays
+	// serial; only true misses proceed to the backend.
+	toRun := ownedKeys
+	if store != nil && len(ownedKeys) > 0 {
+		toRun = toRun[:0]
+		var fromDisk uint64
+		for _, key := range ownedKeys {
+			if met, ok := store.Get(key); ok {
+				ent := owned[key]
+				ent.met = met
+				close(ent.done)
+				fromDisk++
+				continue
+			}
+			toRun = append(toRun, key)
+		}
+		if fromDisk > 0 {
+			e.mu.Lock()
+			e.diskHits += fromDisk
+			e.mu.Unlock()
+		}
+	}
+
+	// Phase 3: backend fan-out over the remaining keys. Every entry is
+	// resolved (results and errors both), so concurrent waiters never hang.
+	if len(toRun) > 0 {
+		e.mu.Lock()
+		e.misses += uint64(len(toRun))
+		e.mu.Unlock()
+		_, _ = sched.Map(e.Workers(), toRun, func(_ int, key Key) (struct{}, error) {
+			ent := owned[key]
+			ent.met, ent.err = e.backend.Evaluate(key.Config, key.Cond)
+			close(ent.done)
+			return struct{}{}, nil
+		})
+		// Phase 4: persist the new results in one group.
+		if store != nil {
+			batch := make([]CacheEntry, 0, len(toRun))
+			for _, key := range toRun {
+				if ent := owned[key]; ent.err == nil {
+					batch = append(batch, CacheEntry{Key: key, Met: ent.met})
+				}
+			}
+			e.persist(batch)
+		}
+	}
+
+	// Assemble in job order; first error (by index) wins.
+	results := make([]Metrics, len(jobs))
+	for i, ent := range ents {
+		<-ent.done
+		if ent.err != nil {
+			return nil, fmt.Errorf("engine: %s corner %v: %w", bname, jobs[i].Config, ent.err)
+		}
+		results[i] = ent.met
+	}
+	return results, nil
+}
+
+// EvaluateAll scores every job and returns the metrics in job order — the
+// result is independent of the worker count. It delegates to the batched
+// submission path, so per-job scheduling is amortized and results persist
+// in groups when a store is attached.
+func (e *Engine) EvaluateAll(jobs []Job) ([]Metrics, error) {
+	return e.EvaluateBatch(jobs)
 }
 
 // Jobs expands a configuration list at one condition.

@@ -160,7 +160,7 @@ func TestBackendEquivalenceSmoke(t *testing.T) {
 	}
 	calib := core.QuickCalibration()
 	behavioral := New(Behavioral{Model: equivModel}, 0)
-	golden := New(Golden{Tech: calib.Tech, Spice: calib.Spice}, 0)
+	golden := New(NewGoldenBackend(calib.Tech, calib.Spice), 0)
 
 	jobs := Jobs([]mult.Config{
 		{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0},
@@ -188,5 +188,182 @@ func TestBackendEquivalenceSmoke(t *testing.T) {
 			t.Errorf("corner %v: energy ratio %.2f outside [0.7, 1.3] (behavioral %.1f fJ, golden %.1f fJ)",
 				c.Job.Config, c.EnergyRatio, c.A.EMul*1e15, c.B.EMul*1e15)
 		}
+	}
+}
+
+// fakeStore is an in-memory engine.Store with call accounting, so the
+// tiered lookup path is observable without touching disk (internal/store
+// tests the real implementation against a live engine).
+type fakeStore struct {
+	mu      sync.Mutex
+	data    map[Key]Metrics
+	gets    int
+	puts    int // PutBatch calls, not entries
+	putKeys int
+	failPut bool
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{data: map[Key]Metrics{}} }
+
+func (s *fakeStore) Get(key Key) (Metrics, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	met, ok := s.data[key]
+	return met, ok
+}
+
+func (s *fakeStore) PutBatch(entries []CacheEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	s.putKeys += len(entries)
+	if s.failPut {
+		return errors.New("synthetic store failure")
+	}
+	for _, ent := range entries {
+		s.data[ent.Key] = ent.Met
+	}
+	return nil
+}
+
+func TestTieredLookupAndGroupPersist(t *testing.T) {
+	fake := &fakeBackend{}
+	disk := newFakeStore()
+	eng := New(fake, 4).WithStore(disk)
+	jobs := testJobs(12)
+
+	// Cold batch: every corner runs the backend and persists in ONE group.
+	if _, err := eng.EvaluateBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := fake.evals.Load(); got != 12 {
+		t.Fatalf("cold batch ran %d backend evaluations, want 12", got)
+	}
+	if disk.puts != 1 || disk.putKeys != 12 {
+		t.Fatalf("cold batch persisted %d keys in %d writes, want 12 in 1", disk.putKeys, disk.puts)
+	}
+	st := eng.Stats()
+	if st.Misses != 12 || st.DiskHits != 0 {
+		t.Fatalf("cold stats %+v", st)
+	}
+
+	// A second engine over the same store: zero backend work, all disk.
+	eng2 := New(&fakeBackend{}, 4).WithStore(disk)
+	warm, err := eng2.EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = eng2.Stats()
+	if st.Misses != 0 || st.DiskHits != 12 || st.Hits != 0 {
+		t.Fatalf("warm stats %+v, want 0 misses / 12 disk hits", st)
+	}
+	for i, j := range jobs {
+		if warm[i].Config != j.Config {
+			t.Fatalf("disk tier returned wrong corner at %d", i)
+		}
+	}
+	// Third sweep on the same engine: memory tier, no store traffic.
+	getsBefore := disk.gets
+	if _, err := eng2.EvaluateBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if disk.gets != getsBefore {
+		t.Fatal("memory-tier hits must not consult the store")
+	}
+	if st := eng2.Stats(); st.Hits != 12 {
+		t.Fatalf("memory-tier stats %+v", st)
+	}
+}
+
+func TestEvaluateSingleUsesTiers(t *testing.T) {
+	fake := &fakeBackend{}
+	disk := newFakeStore()
+	eng := New(fake, 0).WithStore(disk)
+	job := testJobs(1)[0]
+
+	if _, err := eng.Evaluate(job.Config, job.Cond); err != nil {
+		t.Fatal(err)
+	}
+	if disk.putKeys != 1 {
+		t.Fatalf("single evaluation persisted %d keys, want 1", disk.putKeys)
+	}
+	eng2 := New(fake, 0).WithStore(disk)
+	if _, err := eng2.Evaluate(job.Config, job.Cond); err != nil {
+		t.Fatal(err)
+	}
+	if got := fake.evals.Load(); got != 1 {
+		t.Fatalf("backend ran %d times, want 1 (second hit from disk)", got)
+	}
+	if st := eng2.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStoreFailureIsBestEffort(t *testing.T) {
+	fake := &fakeBackend{}
+	disk := newFakeStore()
+	disk.failPut = true
+	eng := New(fake, 2).WithStore(disk)
+	jobs := testJobs(6)
+	mets, err := eng.EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatalf("store failure must not fail the sweep: %v", err)
+	}
+	if len(mets) != 6 {
+		t.Fatalf("sweep returned %d results", len(mets))
+	}
+	st := eng.Stats()
+	if st.StoreErrors == 0 {
+		t.Fatal("failed persistence not accounted")
+	}
+	if st.Misses != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEvaluateBatchDedupesAndOrders(t *testing.T) {
+	fake := &fakeBackend{}
+	eng := New(fake, 3)
+	base := testJobs(4)
+	jobs := append(append([]Job{}, base...), base[1], base[3], base[1])
+
+	mets, err := eng.EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fake.evals.Load(); got != 4 {
+		t.Fatalf("batch with duplicates ran %d backend evaluations, want 4", got)
+	}
+	for i, j := range jobs {
+		if mets[i].Config != j.Config || mets[i].Cond != j.Cond {
+			t.Fatalf("result %d out of order: got %v, want %v", i, mets[i].Config, j.Config)
+		}
+	}
+	if st := eng.Stats(); st.Misses != 4 || st.Hits != 3 {
+		t.Fatalf("stats %+v, want 4 misses / 3 hits", st)
+	}
+}
+
+func TestEvaluateBatchErrorByJobIndex(t *testing.T) {
+	bad := mult.Config{Tau0: 0.2e-9, VDAC0: 0.3, VDACFS: 1.0}
+	fake := &fakeBackend{fail: bad}
+	eng := New(fake, 2)
+	// testJobs(5) spans τ0 = 0.1…0.5 ns, so jobs[2] (0.2 ns) duplicates the
+	// failing corner and the batch holds 5 distinct keys.
+	jobs := append([]Job{{Config: bad, Cond: device.Nominal()}}, testJobs(5)...)
+	if _, err := eng.EvaluateBatch(jobs); err == nil {
+		t.Fatal("batch with failing corner did not error")
+	}
+	if got := fake.evals.Load(); got != 5 {
+		t.Fatalf("failed batch ran %d backend evaluations, want 5 (dedupe + run to completion)", got)
+	}
+	// The healthy corners of the batch are resolved and cached: re-scoring
+	// one runs no backend work.
+	if _, err := eng.Evaluate(jobs[3].Config, jobs[3].Cond); err != nil {
+		t.Fatal(err)
+	}
+	if got := fake.evals.Load(); got != 5 {
+		t.Fatalf("healthy corner of failed batch not cached: %d evaluations", got)
 	}
 }

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"optima/internal/core"
+	"optima/internal/device"
+	"optima/internal/mult"
+	"optima/internal/spice"
+)
+
+// TestGoldenTrimCachedAcrossConditions pins the trim cache: a condition
+// sweep over one configuration pays the 16 trim transients exactly once.
+func TestGoldenTrimCachedAcrossConditions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden-simulation bound")
+	}
+	calib := core.QuickCalibration()
+	backend := NewGoldenBackend(calib.Tech, calib.Spice)
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+
+	first, err := backend.trimFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.LSBVolt <= 0 || first.Transients != mult.OperandMax+1 {
+		t.Fatalf("implausible trim %+v", first)
+	}
+	second, err := backend.trimFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatalf("cached trim differs: %+v vs %+v", second, first)
+	}
+	if got := backend.TrimCalibrations(); got != 1 {
+		t.Fatalf("%d trim calibrations for one config, want 1", got)
+	}
+
+	// A different configuration calibrates its own trim.
+	other := mult.Config{Tau0: 0.20e-9, VDAC0: 0.3, VDACFS: 1.0}
+	if _, err := backend.trimFor(other); err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.TrimCalibrations(); got != 2 {
+		t.Fatalf("%d trim calibrations for two configs, want 2", got)
+	}
+
+	// The zero value must work too (lazy map init).
+	var zero Golden
+	zero.Tech, zero.Spice = calib.Tech, calib.Spice
+	if _, err := zero.trimFor(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zero.trimFor(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := zero.TrimCalibrations(); got != 1 {
+		t.Fatalf("zero-value backend ran %d calibrations, want 1", got)
+	}
+}
+
+var (
+	trimBenchOnce sync.Once
+	trimBenchTech = device.Generic65()
+	trimBenchCfg  = spice.Config{}
+)
+
+func trimBenchSetup() {
+	trimBenchOnce.Do(func() {
+		calib := core.QuickCalibration()
+		trimBenchTech = calib.Tech
+		trimBenchCfg = calib.Spice
+	})
+}
+
+// BenchmarkGoldenTrim quantifies the satellite win: cold is the 16-transient
+// calibration every golden evaluation used to pay per (config, condition);
+// cached is the per-condition cost after the backend memoized the config.
+func BenchmarkGoldenTrim(b *testing.B) {
+	trimBenchSetup()
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mult.CalibrateGoldenTrim(trimBenchTech, cfg, trimBenchCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		backend := NewGoldenBackend(trimBenchTech, trimBenchCfg)
+		if _, err := backend.trimFor(cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := backend.trimFor(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if got := backend.TrimCalibrations(); got != 1 {
+			b.Fatalf("cached path recalibrated: %d calibrations", got)
+		}
+	})
+}

@@ -8,6 +8,7 @@ package exp
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"optima/internal/core"
@@ -15,12 +16,14 @@ import (
 	"optima/internal/dse"
 	"optima/internal/engine"
 	"optima/internal/spice"
+	"optima/internal/store"
 )
 
 // Context carries the calibrated OPTIMA model and the shared settings of
 // an experiment session. All corner/condition evaluations of a session run
 // through one evaluation engine, so figures, tables and the DSE never
-// re-compute a corner another experiment already scored.
+// re-compute a corner another experiment already scored; with CacheDir set,
+// the engine's results additionally persist across sessions.
 type Context struct {
 	Model *core.Model
 	Tech  device.Tech
@@ -32,9 +35,17 @@ type Context struct {
 	// engine.BackendBehavioral (default) or engine.BackendGolden. Set it
 	// before the first evaluation.
 	Backend string
+	// CacheDir, when non-empty, backs the engine with the persistent
+	// content-addressed result store (internal/store) rooted there, keyed
+	// by the session's calibration fingerprint: separate runs — and CI
+	// jobs — sharing the directory never re-evaluate a corner. Set it
+	// before the first evaluation. A store that cannot be opened degrades
+	// to the memory-only cache with a warning, never a failed run.
+	CacheDir string
 
 	engOnce      sync.Once
 	eng          *engine.Engine
+	resultStore  *store.Store
 	selection    *dse.Selection
 	sweepMetrics []dse.Metrics
 }
@@ -58,9 +69,24 @@ func NewContextWithModel(model *core.Model, tech device.Tech) *Context {
 	return &Context{Model: model, Tech: tech, Spice: spice.DefaultConfig()}
 }
 
+// Fingerprint digests everything that determines an evaluation result
+// beyond its (backend, config, condition) key: the calibrated model, the
+// technology card, the solver settings, and the engine's metrics schema.
+// The persistent result store is keyed on it, so results computed under a
+// different calibration are never served to this session.
+func (c *Context) Fingerprint() string {
+	fp, err := store.Fingerprint(engine.MetricsSchema, c.Model, c.Tech, c.Spice)
+	if err != nil {
+		// Marshaling plain value structs cannot fail; a fingerprint bug must
+		// not silently alias two calibrations.
+		panic(fmt.Sprintf("exp: %v", err))
+	}
+	return fp
+}
+
 // Engine returns the session's shared evaluation engine, building it from
-// the Backend/Workers settings on first use (concurrency-safe). Backend
-// names taken from user input must be checked with
+// the Backend/Workers/CacheDir settings on first use (concurrency-safe).
+// Backend names taken from user input must be checked with
 // engine.ValidateBackendName before they reach a Context; an invalid name
 // here is a programming error and panics.
 func (c *Context) Engine() *engine.Engine {
@@ -70,8 +96,30 @@ func (c *Context) Engine() *engine.Engine {
 			panic(fmt.Sprintf("exp: %v", err))
 		}
 		c.eng = engine.New(backend, c.Workers)
+		if c.CacheDir != "" {
+			st, err := store.Open(c.CacheDir, store.Options{Fingerprint: c.Fingerprint()})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exp: persistent result store disabled: %v\n", err)
+				return
+			}
+			c.resultStore = st
+			c.eng.WithStore(st)
+		}
 	})
 	return c.eng
+}
+
+// Store returns the session's persistent result store, or nil when CacheDir
+// is unset (or the store failed to open). Valid after the first Engine call.
+func (c *Context) Store() *store.Store { return c.resultStore }
+
+// Close flushes and closes the persistent result store, if any. Safe to
+// call on a context that never evaluated anything.
+func (c *Context) Close() error {
+	if c.resultStore == nil {
+		return nil
+	}
+	return c.resultStore.Close()
 }
 
 // Sweep returns the cached 48-corner DSE sweep, running it on first use.

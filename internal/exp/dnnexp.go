@@ -199,6 +199,9 @@ func (c *Context) runOneModel(name string, scale DNNScale, sel dse.Selection, im
 func (c *Context) evaluateAllModes(name string, net *dnn.Network, scale DNNScale, sel dse.Selection,
 	evalWorkers int, trainX *dnn.Tensor, trainY []int, testX *dnn.Tensor, testY []int) (DNNRow, error) {
 	row := DNNRow{Model: name, MultsMillions: float64(net.MACsPerInference()) / 1e6}
+	// Float evaluation fans out on the stateless Infer path, under the same
+	// per-model worker split as the quantized modes below.
+	net.EvalWorkers = evalWorkers
 	row.Float32[0], row.Float32[1] = net.TopKAccuracy(testX, testY, 5)
 
 	// The paper's "retraining procedures ... to mitigate the impact of

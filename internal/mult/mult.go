@@ -368,15 +368,27 @@ type Golden struct {
 	Transients int
 }
 
-// NewGolden builds the golden multiplier and calibrates its best-fit ADC
-// trim from sixteen nominal transients (one per input code; each waveform
-// provides all four bit sampling times, since the columns share the word
-// line).
-func NewGolden(tech device.Tech, cfg Config, cond device.PVT, scfg spice.Config) (*Golden, error) {
+// GoldenTrim is the per-configuration ADC trim of the golden multiplier:
+// the best-fit gain/offset of the nominal-condition transfer. The trim
+// depends only on (technology, configuration, solver settings) — not on the
+// operating condition — so condition sweeps over one configuration can
+// calibrate once and share the result (see NewGoldenWithTrim).
+type GoldenTrim struct {
+	LSBVolt    float64
+	OffsetVolt float64
+	// Transients counts the golden simulations the calibration spent.
+	Transients int
+}
+
+// CalibrateGoldenTrim runs the sixteen nominal trim transients of a
+// configuration (one per input code; each waveform provides all four bit
+// sampling times, since the columns share the word line) and fits the
+// best-fit ADC gain/offset.
+func CalibrateGoldenTrim(tech device.Tech, cfg Config, scfg spice.Config) (GoldenTrim, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return GoldenTrim{}, err
 	}
-	g := &Golden{Tech: tech, Cfg: cfg, Cond: cond, Spice: scfg}
+	var trim GoldenTrim
 	nominal := device.Nominal()
 	// One transient per input code a; ΔV of bit i sampled at 2^i·τ0.
 	var dv [OperandMax + 1][OperandBits]float64
@@ -385,9 +397,9 @@ func NewGolden(tech device.Tech, cfg Config, cond device.PVT, scfg spice.Config)
 		dp := spice.NewDischargePath(tech, vwl, nominal)
 		res, err := dp.Discharge(cfg.MaxTime(), scfg, 0)
 		if err != nil {
-			return nil, fmt.Errorf("mult: golden trim calibration: %w", err)
+			return GoldenTrim{}, fmt.Errorf("mult: golden trim calibration: %w", err)
 		}
-		g.Transients++
+		trim.Transients++
 		for i := 0; i < OperandBits; i++ {
 			d := nominal.VDD - res.Waveform.NodeAt(0, cfg.BitTime(i))
 			if d < 0 {
@@ -406,11 +418,41 @@ func NewGolden(tech device.Tech, cfg Config, cond device.PVT, scfg spice.Config)
 		return sum / OperandBits
 	})
 	if err != nil {
-		return nil, fmt.Errorf("mult: config %v: %w", cfg, err)
+		return GoldenTrim{}, fmt.Errorf("mult: config %v: %w", cfg, err)
 	}
-	g.LSBVolt = gain
-	g.OffsetVolt = offset
+	trim.LSBVolt = gain
+	trim.OffsetVolt = offset
+	return trim, nil
+}
+
+// NewGolden builds the golden multiplier, calibrating its ADC trim from
+// scratch. The trim transients are charged to the returned multiplier's
+// Transients count.
+func NewGolden(tech device.Tech, cfg Config, cond device.PVT, scfg spice.Config) (*Golden, error) {
+	trim, err := CalibrateGoldenTrim(tech, cfg, scfg)
+	if err != nil {
+		return nil, err
+	}
+	g, err := NewGoldenWithTrim(tech, cfg, cond, scfg, trim)
+	if err != nil {
+		return nil, err
+	}
+	g.Transients = trim.Transients
 	return g, nil
+}
+
+// NewGoldenWithTrim builds the golden multiplier around a previously
+// calibrated ADC trim, skipping the sixteen trim transients. The returned
+// multiplier's Transients count starts at zero — the trim cost was paid by
+// whoever produced trim.
+func NewGoldenWithTrim(tech device.Tech, cfg Config, cond device.PVT, scfg spice.Config, trim GoldenTrim) (*Golden, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Golden{
+		Tech: tech, Cfg: cfg, Cond: cond, Spice: scfg,
+		LSBVolt: trim.LSBVolt, OffsetVolt: trim.OffsetVolt,
+	}, nil
 }
 
 // SampleMismatch draws fresh mismatch for all four columns' cells.

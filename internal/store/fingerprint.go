@@ -1,0 +1,26 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint digests the JSON forms of its parts into a short stable hex
+// string. The experiment layers fingerprint the calibrated model, the
+// technology card, the solver settings, and the engine's metrics schema —
+// anything that changes an evaluation result without changing its key — so
+// a store written under one calibration can never serve another.
+func Fingerprint(parts ...any) (string, error) {
+	h := sha256.New()
+	for _, part := range parts {
+		b, err := json.Marshal(part)
+		if err != nil {
+			return "", fmt.Errorf("store: fingerprint: %w", err)
+		}
+		h.Write(b)
+		h.Write([]byte{0}) // part separator: {"a"},{"b"} ≠ {"a","b"}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16]), nil
+}

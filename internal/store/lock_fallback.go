@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockSupported reports whether single-writer exclusion is enforced on this
+// platform.
+const lockSupported = false
+
+// acquireLock is a no-op on platforms without flock: concurrent processes
+// sharing one cache directory are then the operator's responsibility (the
+// worst case is lost cache warmth, since every reader re-validates records
+// and a reopened store repairs unreadable tails).
+func acquireLock(string) (*os.File, error) { return nil, nil }
+
+func releaseLock(*os.File) {}

@@ -1,0 +1,39 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockSupported reports whether single-writer exclusion is enforced on this
+// platform.
+const lockSupported = true
+
+// acquireLock takes a non-blocking exclusive flock on the store's lock
+// file. The store is a single-writer design: open-time compaction renames
+// segment files, which would silently strand another process's O_APPEND
+// handles on unlinked inodes. Exclusion turns that data-loss scenario into
+// a clean Open error, which the callers (exp.Context) degrade to a
+// memory-only cache. The lock dies with the process, so a crash never
+// leaves the store unopenable.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is in use by another process (flock: %w)", path, err)
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock (closing the descriptor releases it).
+func releaseLock(f *os.File) {
+	if f != nil {
+		f.Close()
+	}
+}

@@ -1,0 +1,458 @@
+// Package store is the persistent, content-addressed result store behind
+// the evaluation engine's disk tier: engine.Metrics keyed on the engine's
+// stable (backend, config, condition) key plus a model/calibration
+// fingerprint, spilled to disk so corner results survive the process —
+// `optima all` after `optima dse` pays zero re-evaluation, and CI jobs
+// reuse each other's corners.
+//
+// Layout and durability model:
+//
+//   - The store is an append-only JSONL segment log under one directory,
+//     partitioned by key hash into a fixed number of segment files
+//     (seg-NN.jsonl). Partitioning keeps append contention per-partition
+//     and gives a future key-range-sharded or remote store a drop-in seam:
+//     the engine.Store interface never exposes the layout.
+//   - Every record carries the writer's fingerprint. Only records matching
+//     the store's open fingerprint enter the in-memory index, so a stale
+//     calibration can never serve wrong results — it only costs
+//     recomputation.
+//   - Appends are crash-tolerant: a truncated or corrupt tail record is
+//     skipped on open (never fatal), and the partition is immediately
+//     compacted so new appends don't land behind garbage.
+//   - Compaction rewrites a partition from its live index via an atomic
+//     write-then-rename snapshot; a crash mid-compaction leaves the old
+//     segment intact.
+//
+// The store implements engine.Store and is wired in as the middle tier of
+// the engine's memory → disk → backend lookup path (see exp.Context and the
+// CLIs' -cache-dir flag).
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"optima/internal/engine"
+)
+
+// DefaultPartitions is the segment count new stores are created with.
+const DefaultPartitions = 16
+
+// FormatVersion identifies the on-disk layout. A directory written by a
+// different version is rejected by Open (the caller degrades to a
+// memory-only cache).
+const FormatVersion = 1
+
+const manifestName = "manifest.json"
+
+// Options configures Open.
+type Options struct {
+	// Fingerprint identifies the model/calibration state that produced (and
+	// may consume) the results. Records with a different fingerprint are
+	// treated as garbage: never served, dropped at compaction.
+	Fingerprint string
+	// Partitions sets the segment count for a newly created store
+	// (<= 0 = DefaultPartitions). An existing store keeps its own count.
+	Partitions int
+}
+
+// manifest is the store's snapshot metadata, rewritten atomically on every
+// Open and Close.
+type manifest struct {
+	Version     int    `json:"version"`
+	Partitions  int    `json:"partitions"`
+	Fingerprint string `json:"fingerprint"` // last writer, informational
+}
+
+// record is one JSONL line.
+type record struct {
+	FP  string         `json:"fp"`
+	Key engine.Key     `json:"key"`
+	Met engine.Metrics `json:"met"`
+}
+
+// partition is one segment file plus its in-memory index of live records.
+type partition struct {
+	mu    sync.Mutex
+	path  string
+	file  *os.File
+	index map[engine.Key]engine.Metrics
+	total int // records in the segment, live or garbage
+}
+
+// Store is a disk-backed engine.Store. All methods are safe for concurrent
+// use within one process; across processes the store is single-writer,
+// enforced by an exclusive lock on the directory (where the platform
+// supports it) — a second Open fails cleanly instead of racing open-time
+// compaction.
+type Store struct {
+	dir  string
+	fp   string
+	lock *os.File
+
+	parts []*partition
+}
+
+var _ engine.Store = (*Store)(nil)
+
+// Open creates or loads the store at dir. Existing segments are scanned
+// into the index; truncated tails are skipped and repaired, and partitions
+// that are mostly garbage are compacted.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	nparts := opts.Partitions
+	if nparts <= 0 {
+		nparts = DefaultPartitions
+	}
+	lock, err := acquireLock(filepath.Join(dir, ".lock"))
+	if err != nil {
+		return nil, err
+	}
+	if m, err := readManifest(filepath.Join(dir, manifestName)); err != nil {
+		releaseLock(lock)
+		return nil, err
+	} else if m != nil {
+		if m.Version != FormatVersion {
+			releaseLock(lock)
+			return nil, fmt.Errorf("store: %s has format version %d, want %d", dir, m.Version, FormatVersion)
+		}
+		if m.Partitions > 0 {
+			nparts = m.Partitions // layout is fixed at creation
+		}
+	}
+	s := &Store{dir: dir, fp: opts.Fingerprint, lock: lock, parts: make([]*partition, nparts)}
+	for i := range s.parts {
+		p, err := loadPartition(filepath.Join(dir, fmt.Sprintf("seg-%02d.jsonl", i)), opts.Fingerprint)
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		s.parts[i] = p
+	}
+	if err := s.writeManifest(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadPartition scans one segment into an index. The scan stops at the
+// first record that does not parse — a torn append or on-disk corruption —
+// and the partition is compacted on the spot so the valid prefix is all
+// that remains and new appends land after readable data.
+func loadPartition(path, fp string) (*partition, error) {
+	p := &partition{path: path, index: map[engine.Key]engine.Metrics{}}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	dirty := false
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			dirty = true // truncated tail record: skipped, not fatal
+			break
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		var rec record
+		if jsonErr := json.Unmarshal(line, &rec); jsonErr != nil || !validMetrics(rec.Met) {
+			// Corrupt record: everything from here on is unreliable (a torn
+			// write may have displaced the framing). Keep the valid prefix.
+			dirty = true
+			break
+		}
+		p.total++
+		if rec.FP == fp {
+			p.index[rec.Key] = rec.Met
+		}
+	}
+	// Repair torn tails and drop majority-garbage segments before opening
+	// for append.
+	if dirty || p.garbage() > len(p.index) {
+		if err := p.rewrite(fp); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	p.file = f
+	return p, nil
+}
+
+// validMetrics rejects records whose payload decoded but is semantically
+// impossible (NaN from bit rot); a corrupt result must degrade to
+// recomputation, never to a wrong run.
+func validMetrics(m engine.Metrics) bool {
+	for _, v := range []float64{m.EpsMul, m.EpsLarge, m.EpsSmall, m.EMul, m.SigmaMaxLSB, m.SigmaMaxVolt, m.LSBVolt} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *partition) garbage() int { return p.total - len(p.index) }
+
+// rewrite snapshots the partition's live records to a temp file and
+// atomically renames it over the segment. Callers hold p.mu (or exclusive
+// access during load). The append handle, if open, is reopened by the
+// caller via reopen.
+func (p *partition) rewrite(fp string) error {
+	tmp := p.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	var buf bytes.Buffer
+	for key, met := range p.index {
+		if err := appendRecord(&buf, record{FP: fp, Key: key, Met: met}); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if _, err := f.Write(buf.Bytes()); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := os.Rename(tmp, p.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	p.total = len(p.index)
+	return nil
+}
+
+// reopen refreshes the append handle after a rewrite replaced the file.
+func (p *partition) reopen() error {
+	if p.file != nil {
+		p.file.Close()
+	}
+	f, err := os.OpenFile(p.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	p.file = f
+	return nil
+}
+
+func appendRecord(buf *bytes.Buffer, rec record) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal record: %w", err)
+	}
+	buf.Write(b)
+	buf.WriteByte('\n')
+	return nil
+}
+
+// part routes a key to its partition by content hash. The hash covers every
+// key field, so the mapping is stable across processes and hosts — the
+// property a key-range-sharded remote store needs.
+func (s *Store) part(key engine.Key) *partition {
+	h := fnv.New64a()
+	h.Write([]byte(key.Backend))
+	var scratch [8 * 6]byte
+	vals := [...]uint64{
+		math.Float64bits(key.Config.Tau0),
+		math.Float64bits(key.Config.VDAC0),
+		math.Float64bits(key.Config.VDACFS),
+		uint64(key.Cond.Corner),
+		math.Float64bits(key.Cond.VDD),
+		math.Float64bits(key.Cond.TempC),
+	}
+	for i, v := range vals {
+		for b := 0; b < 8; b++ {
+			scratch[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	h.Write(scratch[:])
+	return s.parts[h.Sum64()%uint64(len(s.parts))]
+}
+
+// Get implements engine.Store: an in-memory index lookup, fingerprint
+// already enforced at load/append time.
+func (s *Store) Get(key engine.Key) (engine.Metrics, bool) {
+	p := s.part(key)
+	p.mu.Lock()
+	met, ok := p.index[key]
+	p.mu.Unlock()
+	return met, ok
+}
+
+// Put persists a single result.
+func (s *Store) Put(key engine.Key, met engine.Metrics) error {
+	return s.PutBatch([]engine.CacheEntry{{Key: key, Met: met}})
+}
+
+// PutBatch implements engine.Store: results are grouped by partition and
+// appended with one write per touched segment, amortizing syscall and lock
+// traffic for batched submission.
+func (s *Store) PutBatch(entries []engine.CacheEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	groups := make(map[*partition][]engine.CacheEntry)
+	for _, ent := range entries {
+		p := s.part(ent.Key)
+		groups[p] = append(groups[p], ent)
+	}
+	var firstErr error
+	for p, ents := range groups {
+		if err := p.append(s.fp, ents); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// append writes a group of records to one segment under its lock.
+func (p *partition) append(fp string, ents []engine.CacheEntry) error {
+	var buf bytes.Buffer
+	for _, ent := range ents {
+		if err := appendRecord(&buf, record{FP: fp, Key: ent.Key, Met: ent.Met}); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.file.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	for _, ent := range ents {
+		// Overwrites of an existing key leave the old record as garbage
+		// until the next compaction.
+		p.index[ent.Key] = ent.Met
+		p.total++
+	}
+	return nil
+}
+
+// Compact rewrites every partition down to its live records (current
+// fingerprint, latest value per key) via atomic write-then-rename.
+func (s *Store) Compact() error {
+	for _, p := range s.parts {
+		p.mu.Lock()
+		err := p.rewrite(s.fp)
+		if err == nil {
+			err = p.reopen()
+		}
+		p.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats summarizes the store's contents.
+type Stats struct {
+	// Live is the number of results servable under the open fingerprint.
+	Live int
+	// Garbage counts stale records (other fingerprints, superseded values)
+	// awaiting compaction.
+	Garbage int
+	// Partitions is the segment count.
+	Partitions int
+}
+
+// String renders the stats for log lines.
+func (st Stats) String() string {
+	return fmt.Sprintf("%d results on disk (%d stale) across %d segments", st.Live, st.Garbage, st.Partitions)
+}
+
+// Stats returns a snapshot of the store's accounting.
+func (s *Store) Stats() Stats {
+	st := Stats{Partitions: len(s.parts)}
+	for _, p := range s.parts {
+		p.mu.Lock()
+		st.Live += len(p.index)
+		st.Garbage += p.garbage()
+		p.mu.Unlock()
+	}
+	return st
+}
+
+// Len returns the number of live results.
+func (s *Store) Len() int { return s.Stats().Live }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close rewrites the manifest snapshot and closes the segment files.
+// Appends are unbuffered, so no data is lost if Close is skipped.
+func (s *Store) Close() error {
+	err := s.writeManifest()
+	s.closeFiles()
+	return err
+}
+
+func (s *Store) closeFiles() {
+	for _, p := range s.parts {
+		if p == nil || p.file == nil {
+			continue
+		}
+		p.mu.Lock()
+		p.file.Close()
+		p.file = nil
+		p.mu.Unlock()
+	}
+	releaseLock(s.lock)
+	s.lock = nil
+}
+
+func readManifest(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		// A torn manifest write must not brick the store: the segment scan
+		// does not depend on it beyond the partition count, which a fresh
+		// manifest below restores from the default/options.
+		return nil, nil
+	}
+	return &m, nil
+}
+
+// writeManifest snapshots the store metadata via write-then-rename.
+func (s *Store) writeManifest() error {
+	m := manifest{Version: FormatVersion, Partitions: len(s.parts), Fingerprint: s.fp}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal manifest: %w", err)
+	}
+	path := filepath.Join(s.dir, manifestName)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
