@@ -12,7 +12,9 @@
 // -bench runs the reduced protocol used by the benchmark harness; -noisy
 // samples per-operation mismatch in the multiplier LUT (extension — the
 // tables' protocol uses the deterministic calibrated transfer). -workers
-// bounds the evaluation/training worker pool (0 = all CPUs); -backend
+// bounds the total evaluation/training worker budget — the engine splits
+// it between job-level fan-out and intra-job parallelism (0 = all CPUs);
+// -backend
 // selects the corner-selection backend (behavioral or golden); -cache-dir
 // persists corner-selection results in the shared content-addressed result
 // store (internal/store), so a preceding `optima dse -cache-dir <dir>` makes
@@ -36,7 +38,7 @@ func main() {
 	bench := flag.Bool("bench", false, "run the reduced protocol")
 	noisy := flag.Bool("noisy", false, "sample per-operation mismatch in the multiplier")
 	modelPath := flag.String("model", "", "load a calibrated model instead of recalibrating")
-	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	workers := flag.Int("workers", 0, "total worker budget, split between job-level and intra-job parallelism (0 = all CPUs)")
 	backend := flag.String("backend", engine.BackendBehavioral, "corner-selection backend: behavioral or golden")
 	cacheDir := flag.String("cache-dir", "",
 		"persist evaluation results in this directory (shared across runs; keyed by the calibration fingerprint)")

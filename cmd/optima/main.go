@@ -11,7 +11,10 @@
 //	optima speedup   [-model in.json] [-mc N]
 //	optima all       [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B] [-cache-dir dir]
 //
-// -workers bounds the evaluation engine's worker pool (0 = all CPUs);
+// -workers bounds the evaluation engine's TOTAL worker budget (0 = all
+// CPUs): the engine splits it between job-level fan-out and intra-job
+// parallelism (the golden backend fans each corner's ~500 transients out
+// across its share), so job × intra-job workers never exceed the budget.
 // -backend selects behavioral (calibrated models, fast) or golden
 // (transistor-level transients — the reference, orders of magnitude
 // slower). Sweep output is identical for any worker count.
@@ -90,7 +93,7 @@ commands:
 // engineFlags registers the evaluation-engine flags shared by the
 // sweep-running subcommands.
 func engineFlags(fs *flag.FlagSet) (workers *int, backend, cacheDir *string) {
-	workers = fs.Int("workers", 0, "evaluation worker pool size (0 = all CPUs)")
+	workers = fs.Int("workers", 0, "total evaluation worker budget, split between job-level and intra-job parallelism (0 = all CPUs)")
 	backend = fs.String("backend", engine.BackendBehavioral,
 		"evaluation backend: behavioral (fast models) or golden (transient simulation; orders of magnitude slower)")
 	cacheDir = fs.String("cache-dir", "",

@@ -14,6 +14,11 @@
 // persistent content-addressed result store in internal/store (an
 // append-only segment log keyed on (backend, config, condition) plus a
 // calibration fingerprint; enabled with -cache-dir), then the backend.
+// Concurrency is two-level under one total worker budget: jobs fan out
+// across the engine's pool, and the golden backend additionally fans each
+// corner's ~500 transients out across its granted intra-job share — with
+// Metrics byte-identical at any worker split (fixed result slots, serial
+// input-order reduction), so caching stays sound.
 // Command-line tools under cmd/ and the benchmarks in bench_test.go
 // regenerate every table and figure of the paper's evaluation.
 package optima

@@ -161,16 +161,22 @@ type CornerCheck struct {
 // simulation bound (≈1500 transients for three corners).
 func GoldenCornerCheck(tech device.Tech, cfg mult.Config, scfg spice.Config) (CornerCheck, error) {
 	out := CornerCheck{Config: cfg, Corners: device.Corners()}
+	trim, err := mult.CalibrateGoldenTrim(tech, cfg, scfg)
+	if err != nil {
+		return CornerCheck{}, err
+	}
+	out.Transients += trim.Transients
 	for _, corner := range out.Corners {
 		cond := device.PVT{Corner: corner, VDD: device.NominalVDD, TempC: device.NominalTempC}
-		g, err := mult.NewGolden(tech, cfg, cond, scfg)
+		g, err := mult.NewGoldenWithTrim(tech, cfg, cond, scfg, trim)
 		if err != nil {
 			return CornerCheck{}, err
 		}
 		var acc stats.Accumulator
+		var scr spice.Scratch
 		for a := uint(0); a <= mult.OperandMax; a++ {
 			for d := uint(0); d <= mult.OperandMax; d++ {
-				r, err := g.Multiply(a, d)
+				r, err := g.MultiplyCells(a, d, nil, &scr)
 				if err != nil {
 					return CornerCheck{}, err
 				}
@@ -179,10 +185,10 @@ func GoldenCornerCheck(tech device.Tech, cfg mult.Config, scfg spice.Config) (Co
 					e = -e
 				}
 				acc.Add(float64(e))
+				out.Transients += r.Transients
 			}
 		}
 		out.AvgError = append(out.AvgError, acc.Mean())
-		out.Transients += g.Transients
 	}
 	return out, nil
 }

@@ -9,7 +9,9 @@ import (
 	"optima/internal/core"
 	"optima/internal/device"
 	"optima/internal/mult"
+	"optima/internal/sched"
 	"optima/internal/spice"
+	"optima/internal/sram"
 	"optima/internal/stats"
 )
 
@@ -87,6 +89,19 @@ type Backend interface {
 	Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error)
 }
 
+// IntraBackend is optionally implemented by backends that can spend an
+// intra-job worker budget inside a single evaluation. The engine negotiates
+// the split of its total worker bound: each job of a fan-out is granted
+// total/jobWorkers intra workers, so job-level × intra-job concurrency
+// never oversubscribes the budget. Implementations must return identical
+// Metrics at every budget (the engine's cache stores them by key alone).
+type IntraBackend interface {
+	Backend
+	// EvaluateBudget is Evaluate with up to intra workers of internal
+	// parallelism; intra <= 0 means GOMAXPROCS, 1 means serial.
+	EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Metrics, error)
+}
+
 // Behavioral is the fast backend: OPTIMA's calibrated models, with the
 // error expectation over mismatch (Eq. 6) and readout noise computed
 // analytically — no Monte-Carlo jitter, so corner selection is
@@ -132,20 +147,33 @@ func (b Behavioral) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) 
 // the configuration, so a PVT sweep over one corner pays it once instead of
 // once per condition. Use NewGoldenBackend; the zero value also works (the
 // trim cache initializes lazily).
+//
+// Golden implements IntraBackend: EvaluateBudget fans the 256 input-space
+// transients and the Monte-Carlo sigma samples of one corner out across an
+// intra-job worker budget, with Metrics guaranteed identical at any budget.
 type Golden struct {
 	Tech  device.Tech
 	Spice spice.Config
 
 	mu    sync.Mutex
-	trims map[mult.Config]mult.GoldenTrim
+	trims map[mult.Config]*trimEntry
 	// trimCals counts trim calibrations actually run (observability for
 	// tests and the trim-cache benchmark).
 	trimCals atomic.Int64
 }
 
+// trimEntry is one trim-cache slot with singleflight semantics: the first
+// claimant computes, concurrent claimants wait on done instead of running
+// a duplicate 16-transient calibration.
+type trimEntry struct {
+	done chan struct{}
+	trim mult.GoldenTrim
+	err  error
+}
+
 // NewGoldenBackend returns a golden backend with an empty trim cache.
 func NewGoldenBackend(tech device.Tech, scfg spice.Config) *Golden {
-	return &Golden{Tech: tech, Spice: scfg, trims: map[mult.Config]mult.GoldenTrim{}}
+	return &Golden{Tech: tech, Spice: scfg, trims: map[mult.Config]*trimEntry{}}
 }
 
 // Name implements Backend.
@@ -153,33 +181,44 @@ func (*Golden) Name() string { return BackendGolden }
 
 // TrimCalibrations returns how many trim calibrations (16 golden transients
 // each) the backend has run — evaluations beyond the first per configuration
-// hit the cache and add nothing.
+// hit the cache and add nothing, including concurrent first evaluations
+// (singleflight).
 func (g *Golden) TrimCalibrations() int64 { return g.trimCals.Load() }
 
-// trimFor returns the configuration's ADC trim, calibrating on first use.
-// Concurrent first calibrations of the same configuration may race and
-// duplicate the work (both compute the same deterministic result); the
-// sweep layers submit each configuration once per batch, so in practice the
-// calibration runs once.
-func (g *Golden) trimFor(cfg mult.Config) (mult.GoldenTrim, error) {
-	g.mu.Lock()
-	trim, ok := g.trims[cfg]
-	g.mu.Unlock()
-	if ok {
-		return trim, nil
-	}
-	g.trimCals.Add(1)
-	trim, err := mult.CalibrateGoldenTrim(g.Tech, cfg, g.Spice)
-	if err != nil {
-		return mult.GoldenTrim{}, err
-	}
+// trimFor returns the configuration's ADC trim, calibrating on first use
+// with up to intra workers. Concurrent first calls of the same
+// configuration share one calibration: the first claims a cache entry and
+// computes, the rest wait on its done channel (the same claimed-entry
+// pattern as the engine's result cache). Errors are cached — the
+// calibration is deterministic, so a failing configuration fails the same
+// way every time.
+func (g *Golden) trimFor(cfg mult.Config, intra int) (mult.GoldenTrim, error) {
 	g.mu.Lock()
 	if g.trims == nil {
-		g.trims = map[mult.Config]mult.GoldenTrim{}
+		g.trims = map[mult.Config]*trimEntry{}
 	}
-	g.trims[cfg] = trim
+	if ent, ok := g.trims[cfg]; ok {
+		g.mu.Unlock()
+		<-ent.done
+		return ent.trim, ent.err
+	}
+	ent := &trimEntry{done: make(chan struct{})}
+	g.trims[cfg] = ent
 	g.mu.Unlock()
-	return trim, nil
+
+	g.trimCals.Add(1)
+	func() {
+		// done closes on every path: a panicking calibration is recovered
+		// into the entry's error so waiters never block on a dead claim.
+		defer func() {
+			if r := recover(); r != nil {
+				ent.err = fmt.Errorf("engine: golden trim calibration panicked for %v: %v", cfg, r)
+			}
+			close(ent.done)
+		}()
+		ent.trim, ent.err = mult.CalibrateGoldenTrimParallel(g.Tech, cfg, g.Spice, intra)
+	}()
+	return ent.trim, ent.err
 }
 
 // GoldenSigmaSamples is the Monte-Carlo mismatch population the golden
@@ -188,9 +227,32 @@ func (g *Golden) trimFor(cfg mult.Config) (mult.GoldenTrim, error) {
 // Eq. 6. Each sample simulates the four bit lines of the (15,15) input.
 const GoldenSigmaSamples = 24
 
-// Evaluate implements Backend.
+// goldenSigmaSeed is the base seed of the Monte-Carlo sigma estimate.
+// Sample s draws from its own generator seeded goldenSigmaSeed+s
+// (splitmix-decorrelated by stats.NewRNG), so the sample set — and with it
+// the Metrics — is independent of how samples are scheduled across intra-
+// job workers.
+const goldenSigmaSeed = 0x600dc0de
+
+// inputSpan is the per-operand code count of the multiplier input space.
+const inputSpan = mult.OperandMax + 1
+
+// Evaluate implements Backend: the serial (intra = 1) evaluation path.
 func (g *Golden) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
-	trim, err := g.trimFor(cfg)
+	return g.EvaluateBudget(cfg, cond, 1)
+}
+
+// EvaluateBudget implements IntraBackend. The per-corner transients — the
+// 16 trim transients of a cold configuration, the 256 input pairs, and the
+// GoldenSigmaSamples mismatch samples of the (15,15) input — fan out
+// across up to intra workers, each with its own integrator
+// scratch and — for the Monte-Carlo phase — its own per-sample seeded RNG
+// and cell state. Workers fill fixed slices indexed by (a, d) and by
+// sample, and the Metrics reduction walks those slices serially in input
+// order, so the result is byte-identical to the serial path at any worker
+// count — the engine's content-addressed cache contract.
+func (g *Golden) EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Metrics, error) {
+	trim, err := g.trimFor(cfg, intra)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -199,30 +261,69 @@ func (g *Golden) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 		return Metrics{}, err
 	}
 	m := Metrics{Config: cfg, Cond: cond, LSBVolt: gm.LSBVolt}
-	err = m.accumulate(func(a, d uint) (eps, energy float64, err error) {
-		r, err := gm.Multiply(a, d)
-		if err != nil {
-			return 0, 0, err
+
+	// Workers reuse integrator buffers between transients; the pool hands
+	// each in-flight call a private Scratch.
+	var scratch sync.Pool
+
+	// Input space: pair i = (a, d) = (i / 16, i mod 16). sched.Map returns
+	// the per-pair results in index order regardless of scheduling.
+	type pairRes struct{ eps, energy float64 }
+	pairIdx := make([]int, inputSpan*inputSpan)
+	for i := range pairIdx {
+		pairIdx[i] = i
+	}
+	pairs, err := sched.Map(intra, pairIdx, func(_ int, i int) (pairRes, error) {
+		scr, _ := scratch.Get().(*spice.Scratch)
+		if scr == nil {
+			scr = &spice.Scratch{}
 		}
-		return math.Abs(float64(r.ErrorLSB())), r.Energy, nil
+		defer scratch.Put(scr)
+		r, err := gm.MultiplyCells(uint(i/inputSpan), uint(i%inputSpan), nil, scr)
+		if err != nil {
+			return pairRes{}, err
+		}
+		return pairRes{eps: math.Abs(float64(r.ErrorLSB())), energy: r.Energy}, nil
 	})
 	if err != nil {
 		return Metrics{}, err
 	}
-	// σ at the maximum discharge via Monte-Carlo mismatch sampling. The
-	// seed is fixed so the backend stays deterministic (same job, same
-	// result — the engine's cache contract).
-	rng := stats.NewRNG(0x600dc0de)
-	var vAcc stats.Accumulator
-	for s := 0; s < GoldenSigmaSamples; s++ {
-		gm.SampleMismatch(rng)
-		r, err := gm.Multiply(mult.OperandMax, mult.OperandMax)
-		if err != nil {
-			return Metrics{}, err
-		}
-		vAcc.Add(r.VComb)
+	// Serial reduction in (a, d) order through the shared scaffold.
+	if err := m.accumulate(func(a, d uint) (eps, energy float64, err error) {
+		p := pairs[int(a)*inputSpan+int(d)]
+		return p.eps, p.energy, nil
+	}); err != nil {
+		return Metrics{}, err
 	}
-	gm.ClearMismatch()
+
+	// σ at the maximum discharge via Monte-Carlo mismatch sampling, one
+	// deterministic RNG stream per sample (seed fixed — same job, same
+	// result), reduced serially in sample order.
+	sampleIdx := make([]int, GoldenSigmaSamples)
+	for s := range sampleIdx {
+		sampleIdx[s] = s
+	}
+	vcombs, err := sched.Map(intra, sampleIdx, func(_ int, s int) (float64, error) {
+		scr, _ := scratch.Get().(*spice.Scratch)
+		if scr == nil {
+			scr = &spice.Scratch{}
+		}
+		defer scratch.Put(scr)
+		var cells sram.Word
+		cells.SampleMismatch(g.Tech, stats.NewRNG(goldenSigmaSeed+uint64(s)))
+		r, err := gm.MultiplyCells(mult.OperandMax, mult.OperandMax, &cells, scr)
+		if err != nil {
+			return 0, err
+		}
+		return r.VComb, nil
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	var vAcc stats.Accumulator
+	for _, v := range vcombs {
+		vAcc.Add(v)
+	}
 	m.SigmaMaxVolt = vAcc.StdDev()
 	m.SigmaMaxLSB = m.SigmaMaxVolt / gm.LSBVolt
 	return m, nil

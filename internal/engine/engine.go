@@ -17,6 +17,25 @@
 // across runs and CI jobs), and the backend itself. Lookups fall through
 // memory → store → backend; results computed by the backend are written
 // back to the store, in groups on the batched submission path.
+//
+// # Two-level concurrency
+//
+// The engine's worker bound is a total budget spent on two levels. The
+// job level fans distinct (config, condition) jobs out across a bounded
+// pool; the intra-job level lets a backend that implements IntraBackend
+// parallelize inside one evaluation (the golden backend fans each corner's
+// ~500 transients — trim calibration, the 16×16 input space, and the
+// Monte-Carlo sigma samples — across its granted share). For a batch of n
+// runnable jobs the engine grants each job total/min(total, n) intra
+// workers, so job-level × intra-job concurrency never oversubscribes the
+// budget: a 48-corner sweep spends everything on job fan-out, while a
+// single golden corner spends everything inside the corner.
+//
+// Determinism is preserved at both levels: results come back in job order
+// regardless of worker counts, and intra-job workers fill fixed
+// per-transient slots that reduce serially in input order — Metrics are
+// byte-identical at any budget, which is what makes the content-addressed
+// cache (and the persistent store) sound.
 package engine
 
 import (
@@ -33,7 +52,12 @@ import (
 // in the persistent store's fingerprint, so bumping it invalidates every
 // previously persisted result. Bump it whenever the meaning or computation
 // of any Metrics field changes.
-const MetricsSchema = 1
+//
+// Schema 2: the golden backend's Monte-Carlo σ estimate switched from one
+// sequential RNG stream across samples to one deterministic stream per
+// sample (required for schedule-independent intra-job parallelism), which
+// changes golden SigmaMax values.
+const MetricsSchema = 2
 
 // Job is one unit of evaluation work: score a multiplier configuration at
 // an operating condition over the full input space.
@@ -83,10 +107,12 @@ type Stats struct {
 	Entries int
 }
 
-// String renders the accounting for log lines.
+// String renders the accounting for log lines. The store clauses appear
+// independently: store errors without disk hits report only the errors, not
+// a spurious "0 store hits".
 func (s Stats) String() string {
 	out := fmt.Sprintf("%d evaluated, %d cache hits, %d entries", s.Misses, s.Hits, s.Entries)
-	if s.DiskHits > 0 || s.StoreErrors > 0 {
+	if s.DiskHits > 0 {
 		out += fmt.Sprintf(", %d store hits", s.DiskHits)
 	}
 	if s.StoreErrors > 0 {
@@ -137,12 +163,64 @@ func (e *Engine) WithStore(s Store) *Engine {
 // Backend returns the engine's backend.
 func (e *Engine) Backend() Backend { return e.backend }
 
-// Workers returns the effective worker-pool bound.
+// Workers returns the engine's total worker budget: the bound on job-level
+// × intra-job concurrency across one submission.
 func (e *Engine) Workers() int {
 	if e.workers <= 0 {
 		return runtime.GOMAXPROCS(0)
 	}
 	return e.workers
+}
+
+// splitBudget divides the total worker budget across n runnable jobs:
+// up to n jobs run concurrently, each granted intra workers of internal
+// parallelism (for backends that implement IntraBackend), with the first
+// extra jobs granted one more so a budget that doesn't divide evenly is
+// not stranded. The sum of grants over any jobWorkers concurrent jobs
+// never exceeds the budget (when n <= total every job may be in flight
+// and the grants sum to exactly total; otherwise intra is 1). A single
+// job gets the whole budget — the case that makes a lone golden corner
+// ~Nx faster.
+func (e *Engine) splitBudget(n int) (jobWorkers, intra, extra int) {
+	total := e.Workers()
+	jobWorkers = total
+	if jobWorkers > n {
+		jobWorkers = n
+	}
+	if jobWorkers < 1 {
+		jobWorkers = 1
+	}
+	intra = total / jobWorkers
+	if intra < 1 {
+		intra = 1
+	}
+	if n <= total {
+		extra = total % jobWorkers
+	}
+	return jobWorkers, intra, extra
+}
+
+// evalBackend runs one job on the backend, granting the intra-job budget
+// when the backend can use it.
+func (e *Engine) evalBackend(key Key, intra int) (Metrics, error) {
+	if ib, ok := e.backend.(IntraBackend); ok && intra != 1 {
+		return ib.EvaluateBudget(key.Config, key.Cond, intra)
+	}
+	return e.backend.Evaluate(key.Config, key.Cond)
+}
+
+// runClaimed resolves a claimed cache entry against the backend. The done
+// channel closes on every path: a panicking backend is recovered into the
+// entry's error, so concurrent submitters of the key never block forever
+// on a dead claim.
+func (e *Engine) runClaimed(ent *entry, key Key, intra int) {
+	defer func() {
+		if r := recover(); r != nil {
+			ent.err = fmt.Errorf("engine: %s backend panicked on corner %v: %v", key.Backend, key.Config, r)
+		}
+		close(ent.done)
+	}()
+	ent.met, ent.err = e.evalBackend(key, intra)
 }
 
 // Stats returns a snapshot of the cache accounting.
@@ -160,6 +238,12 @@ func (e *Engine) Stats() Stats {
 // key share a single lookup/evaluation. Errors are cached in memory (not
 // persisted): backends are deterministic, so a failing corner fails the
 // same way every time within a process.
+//
+// Each Evaluate call is its own submission and is granted the full worker
+// budget for intra-job parallelism — callers fanning distinct jobs out
+// across their own goroutines would multiply that grant and oversubscribe
+// the budget; submit such groups through EvaluateBatch, which negotiates
+// the job-level/intra-job split.
 func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 	key := Key{Backend: e.backend.Name(), Job: Job{Config: cfg, Cond: cond}}
 	e.mu.Lock()
@@ -188,8 +272,8 @@ func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 	e.mu.Lock()
 	e.misses++
 	e.mu.Unlock()
-	ent.met, ent.err = e.backend.Evaluate(cfg, cond)
-	close(ent.done)
+	// A single submission is the whole fan-out, so it gets the full budget.
+	e.runClaimed(ent, key, e.Workers())
 	if store != nil && ent.err == nil {
 		e.persist([]CacheEntry{{Key: key, Met: ent.met}})
 	}
@@ -272,15 +356,20 @@ func (e *Engine) EvaluateBatch(jobs []Job) ([]Metrics, error) {
 	}
 
 	// Phase 3: backend fan-out over the remaining keys. Every entry is
-	// resolved (results and errors both), so concurrent waiters never hang.
+	// resolved (results and errors both — panics included), so concurrent
+	// waiters never hang. The worker budget is split between job-level
+	// fan-out and the per-job intra budget of IntraBackend backends.
 	if len(toRun) > 0 {
 		e.mu.Lock()
 		e.misses += uint64(len(toRun))
 		e.mu.Unlock()
-		_, _ = sched.Map(e.Workers(), toRun, func(_ int, key Key) (struct{}, error) {
-			ent := owned[key]
-			ent.met, ent.err = e.backend.Evaluate(key.Config, key.Cond)
-			close(ent.done)
+		jobWorkers, intra, extra := e.splitBudget(len(toRun))
+		_, _ = sched.Map(jobWorkers, toRun, func(i int, key Key) (struct{}, error) {
+			grant := intra
+			if i < extra {
+				grant++
+			}
+			e.runClaimed(owned[key], key, grant)
 			return struct{}{}, nil
 		})
 		// Phase 4: persist the new results in one group.

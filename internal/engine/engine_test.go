@@ -3,9 +3,12 @@ package engine
 import (
 	"errors"
 	"math"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"optima/internal/core"
 	"optima/internal/device"
@@ -133,6 +136,177 @@ func TestErrorsAreCachedAndAbortSweeps(t *testing.T) {
 	jobs := append(testJobs(6), Job{Config: bad, Cond: device.Nominal()})
 	if _, err := eng.EvaluateAll(jobs); err == nil {
 		t.Fatal("sweep with failing corner did not abort")
+	}
+}
+
+// panicBackend panics on every evaluation — the regression fixture for the
+// claim-safety fix: before it, a backend panic left the claimed cache entry
+// unresolved and every later submitter of the key blocked forever on its
+// done channel.
+type panicBackend struct{}
+
+func (panicBackend) Name() string { return "panic" }
+func (panicBackend) Evaluate(mult.Config, device.PVT) (Metrics, error) {
+	panic("synthetic backend panic")
+}
+
+// TestBackendPanicResolvesClaimedEntry submits the same key from several
+// goroutines against a panicking backend. Pre-fix this test dies on the
+// uncaught panic (and the waiters would hang forever); post-fix every
+// submitter — the one that ran the backend and the ones waiting on its
+// claim — gets an error, within the deadline.
+func TestBackendPanicResolvesClaimedEntry(t *testing.T) {
+	eng := New(panicBackend{}, 2)
+	job := testJobs(1)[0]
+
+	const submitters = 4
+	done := make(chan error, submitters)
+	for i := 0; i < submitters; i++ {
+		go func() {
+			_, err := eng.Evaluate(job.Config, job.Cond)
+			done <- err
+		}()
+	}
+	deadline := time.After(30 * time.Second)
+	for i := 0; i < submitters; i++ {
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("submitter got %v, want a backend-panicked error", err)
+			}
+		case <-deadline:
+			t.Fatal("submitter blocked on the panicked backend's claimed entry")
+		}
+	}
+	// The panic is cached like any deterministic failure.
+	if _, err := eng.Evaluate(job.Config, job.Cond); err == nil {
+		t.Fatal("cached panic did not error")
+	}
+
+	// The batched path resolves every claimed entry too: the batch errors
+	// but returns instead of hanging, and re-submitting doesn't hang either.
+	batchDone := make(chan error, 1)
+	go func() {
+		_, err := eng.EvaluateBatch(testJobs(3))
+		batchDone <- err
+	}()
+	select {
+	case err := <-batchDone:
+		if err == nil {
+			t.Fatal("batch over a panicking backend did not error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("batch blocked on panicked backend entries")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	cases := []struct {
+		st   Stats
+		want string
+	}{
+		{Stats{Misses: 3, Hits: 1, Entries: 3}, "3 evaluated, 1 cache hits, 3 entries"},
+		{Stats{Misses: 2, DiskHits: 5, Entries: 7}, "2 evaluated, 0 cache hits, 7 entries, 5 store hits"},
+		// Store errors without disk hits must not print "0 store hits".
+		{Stats{Misses: 4, StoreErrors: 2, Entries: 4}, "4 evaluated, 0 cache hits, 4 entries, 2 store errors"},
+		{Stats{Misses: 1, DiskHits: 3, StoreErrors: 1, Entries: 4}, "1 evaluated, 0 cache hits, 4 entries, 3 store hits, 1 store errors"},
+	}
+	for _, c := range cases {
+		if got := c.st.String(); got != c.want {
+			t.Errorf("Stats%+v.String() = %q, want %q", c.st, got, c.want)
+		}
+	}
+}
+
+func TestSplitBudget(t *testing.T) {
+	eng := New(&fakeBackend{}, 8)
+	cases := []struct {
+		jobs                              int
+		wantWorkers, wantIntra, wantExtra int
+	}{
+		{1, 1, 8, 0},  // one job gets the whole budget
+		{3, 3, 2, 2},  // 3×2 + 2 remainder grants = exactly 8
+		{8, 8, 1, 0},  // exact fit
+		{48, 8, 1, 0}, // more jobs than budget: job-level fan-out only
+	}
+	for _, c := range cases {
+		gotW, gotI, gotE := eng.splitBudget(c.jobs)
+		if gotW != c.wantWorkers || gotI != c.wantIntra || gotE != c.wantExtra {
+			t.Errorf("splitBudget(%d) = (%d, %d, %d), want (%d, %d, %d)",
+				c.jobs, gotW, gotI, gotE, c.wantWorkers, c.wantIntra, c.wantExtra)
+		}
+		// The grants of all potentially concurrent jobs must cover — and
+		// never exceed — the budget.
+		inFlight := c.jobs
+		if inFlight > gotW {
+			inFlight = gotW
+		}
+		sum := inFlight*gotI + gotE
+		if sum > eng.Workers() {
+			t.Errorf("splitBudget(%d) oversubscribes: %d×%d + %d extra > %d", c.jobs, inFlight, gotI, gotE, eng.Workers())
+		}
+		if c.jobs <= eng.Workers() && sum != eng.Workers() {
+			t.Errorf("splitBudget(%d) strands budget: %d×%d + %d extra < %d", c.jobs, inFlight, gotI, gotE, eng.Workers())
+		}
+	}
+}
+
+// intraFake records the intra-job budgets the engine grants, so the
+// job-level/intra-job negotiation is observable.
+type intraFake struct {
+	fakeBackend
+	mu     sync.Mutex
+	intras []int
+}
+
+func (f *intraFake) EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Metrics, error) {
+	f.mu.Lock()
+	f.intras = append(f.intras, intra)
+	f.mu.Unlock()
+	return f.Evaluate(cfg, cond)
+}
+
+func TestEngineGrantsIntraBudget(t *testing.T) {
+	fake := &intraFake{}
+	eng := New(fake, 8)
+
+	// A single submission gets the whole budget.
+	job := testJobs(1)[0]
+	if _, err := eng.Evaluate(job.Config, job.Cond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fake.intras) != 1 || fake.intras[0] != 8 {
+		t.Fatalf("single Evaluate granted %v, want [8]", fake.intras)
+	}
+
+	// A 2-job batch splits 8 = 2 jobs × 4 intra.
+	fake.intras = nil
+	if _, err := eng.EvaluateBatch(testJobs(3)[1:]); err != nil {
+		t.Fatal(err)
+	}
+	if len(fake.intras) != 2 || fake.intras[0] != 4 || fake.intras[1] != 4 {
+		t.Fatalf("2-job batch granted %v, want [4 4]", fake.intras)
+	}
+
+	// A 3-job batch splits 8 = 3 jobs × 2 intra + 2 remainder grants — the
+	// budget is never stranded by integer division.
+	fake.intras = nil
+	if _, err := eng.EvaluateBatch(testJobs(15)[12:]); err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(fake.intras)
+	if len(fake.intras) != 3 || fake.intras[0] != 2 || fake.intras[1] != 3 || fake.intras[2] != 3 {
+		t.Fatalf("3-job batch granted %v, want [2 3 3]", fake.intras)
+	}
+
+	// A batch at least as wide as the budget grants intra = 1, which the
+	// engine serves through plain Evaluate (no budget call at all).
+	fake.intras = nil
+	if _, err := eng.EvaluateBatch(testJobs(12)[3:]); err != nil {
+		t.Fatal(err)
+	}
+	if len(fake.intras) != 0 {
+		t.Fatalf("wide batch granted %v, want Evaluate (intra=1) for every job", fake.intras)
 	}
 }
 

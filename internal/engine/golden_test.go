@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,14 +22,14 @@ func TestGoldenTrimCachedAcrossConditions(t *testing.T) {
 	backend := NewGoldenBackend(calib.Tech, calib.Spice)
 	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
 
-	first, err := backend.trimFor(cfg)
+	first, err := backend.trimFor(cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.LSBVolt <= 0 || first.Transients != mult.OperandMax+1 {
 		t.Fatalf("implausible trim %+v", first)
 	}
-	second, err := backend.trimFor(cfg)
+	second, err := backend.trimFor(cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func TestGoldenTrimCachedAcrossConditions(t *testing.T) {
 
 	// A different configuration calibrates its own trim.
 	other := mult.Config{Tau0: 0.20e-9, VDAC0: 0.3, VDACFS: 1.0}
-	if _, err := backend.trimFor(other); err != nil {
+	if _, err := backend.trimFor(other, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := backend.TrimCalibrations(); got != 2 {
@@ -50,14 +52,83 @@ func TestGoldenTrimCachedAcrossConditions(t *testing.T) {
 	// The zero value must work too (lazy map init).
 	var zero Golden
 	zero.Tech, zero.Spice = calib.Tech, calib.Spice
-	if _, err := zero.trimFor(cfg); err != nil {
+	if _, err := zero.trimFor(cfg, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := zero.trimFor(cfg); err != nil {
+	if _, err := zero.trimFor(cfg, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := zero.TrimCalibrations(); got != 1 {
 		t.Fatalf("zero-value backend ran %d calibrations, want 1", got)
+	}
+}
+
+// TestGoldenTrimSingleflightConcurrent pins the trim cache's claim
+// semantics: concurrent first evaluations of one configuration share a
+// single 16-transient calibration instead of each running their own (run
+// with -race to check the claimed-entry handoff).
+func TestGoldenTrimSingleflightConcurrent(t *testing.T) {
+	calib := core.QuickCalibration()
+	backend := NewGoldenBackend(calib.Tech, calib.Spice)
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+
+	const goroutines = 8
+	trims := make([]mult.GoldenTrim, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trims[i], errs[i] = backend.trimFor(cfg, 1)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if trims[i] != trims[0] {
+			t.Fatalf("goroutine %d got a different trim: %+v vs %+v", i, trims[i], trims[0])
+		}
+	}
+	if got := backend.TrimCalibrations(); got != 1 {
+		t.Fatalf("%d trim calibrations under concurrent first use, want 1 (singleflight)", got)
+	}
+}
+
+// TestGoldenEvaluateWorkerInvariance mirrors the sweep-level worker-
+// invariance test one layer down: the golden backend's Metrics must be
+// byte-identical at every intra-job worker count, because the engine's
+// content-addressed cache (and the persistent store) index them by key
+// alone.
+func TestGoldenEvaluateWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden-simulation bound")
+	}
+	calib := core.QuickCalibration()
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+	cond := device.Nominal()
+
+	serialBackend := NewGoldenBackend(calib.Tech, calib.Spice)
+	base, err := serialBackend.Evaluate(cfg, cond) // intra = 1 path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.EpsMul <= 0 || base.SigmaMaxLSB <= 0 {
+		t.Fatalf("implausible serial metrics %+v", base)
+	}
+	for _, intra := range []int{2, runtime.GOMAXPROCS(0), 0} {
+		// Fresh backend per count so the trim calibration itself also runs
+		// at this worker count.
+		backend := NewGoldenBackend(calib.Tech, calib.Spice)
+		m, err := backend.EvaluateBudget(cfg, cond, intra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != base {
+			t.Fatalf("intra=%d metrics differ from serial:\n  got  %+v\n  want %+v", intra, m, base)
+		}
 	}
 }
 
@@ -91,12 +162,12 @@ func BenchmarkGoldenTrim(b *testing.B) {
 	})
 	b.Run("cached", func(b *testing.B) {
 		backend := NewGoldenBackend(trimBenchTech, trimBenchCfg)
-		if _, err := backend.trimFor(cfg); err != nil {
+		if _, err := backend.trimFor(cfg, 1); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := backend.trimFor(cfg); err != nil {
+			if _, err := backend.trimFor(cfg, 1); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -104,4 +175,33 @@ func BenchmarkGoldenTrim(b *testing.B) {
 			b.Fatalf("cached path recalibrated: %d calibrations", got)
 		}
 	})
+}
+
+// BenchmarkGoldenEvaluate quantifies the tentpole: one cold golden corner
+// (16 trim + 256 input-space + GoldenSigmaSamples Monte-Carlo transients)
+// evaluated serially versus with an 8-worker intra-job budget. A fresh
+// backend per iteration keeps every run cold — this is the per-corner cost
+// a golden sweep pays, and the serial-vs-parallel gap is the intra-job
+// speed-up (recorded in CI's BENCH_engine.json).
+func BenchmarkGoldenEvaluate(b *testing.B) {
+	trimBenchSetup()
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+	cond := device.Nominal()
+	for _, intra := range []int{1, 8} {
+		b.Run(fmt.Sprintf("cold/intra=%d", intra), func(b *testing.B) {
+			var base *Metrics
+			for i := 0; i < b.N; i++ {
+				backend := NewGoldenBackend(trimBenchTech, trimBenchCfg)
+				m, err := backend.EvaluateBudget(cfg, cond, intra)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if base == nil {
+					base = &m
+				} else if m != *base {
+					b.Fatalf("metrics drifted between runs: %+v vs %+v", m, *base)
+				}
+			}
+		})
+	}
 }

@@ -28,8 +28,9 @@ type Context struct {
 	Model *core.Model
 	Tech  device.Tech
 	Spice spice.Config
-	// Workers bounds the evaluation worker pool (0 = GOMAXPROCS). Set it
-	// before the first evaluation.
+	// Workers bounds the engine's total worker budget — job-level fan-out ×
+	// intra-job parallelism (0 = GOMAXPROCS). Set it before the first
+	// evaluation.
 	Workers int
 	// Backend selects the evaluation backend by name —
 	// engine.BackendBehavioral (default) or engine.BackendGolden. Set it

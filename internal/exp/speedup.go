@@ -8,6 +8,8 @@ import (
 	"optima/internal/mult"
 	"optima/internal/refdata"
 	"optima/internal/report"
+	"optima/internal/spice"
+	"optima/internal/sram"
 	"optima/internal/stats"
 )
 
@@ -59,17 +61,18 @@ func (c *Context) SpeedupInputSpace(cfg mult.Config) (SpeedupResult, error) {
 	if err != nil {
 		return out, err
 	}
-	g.Transients = 0
+	var scr spice.Scratch
 	start = time.Now()
 	for a := uint(0); a <= mult.OperandMax; a++ {
 		for d := uint(0); d <= mult.OperandMax; d++ {
-			if _, err := g.Multiply(a, d); err != nil {
+			r, err := g.MultiplyCells(a, d, nil, &scr)
+			if err != nil {
 				return out, err
 			}
+			out.GoldenTransients += r.Transients
 		}
 	}
 	out.GoldenTime = time.Since(start)
-	out.GoldenTransients = g.Transients
 	return out, nil
 }
 
@@ -98,17 +101,19 @@ func (c *Context) SpeedupMonteCarlo(cfg mult.Config, samples int) (SpeedupResult
 	if err != nil {
 		return out, err
 	}
-	g.Transients = 0
 	grng := stats.NewRNG(0x5eed)
+	var cells sram.Word
+	var scr spice.Scratch
 	start = time.Now()
 	for s := 0; s < samples; s++ {
-		g.SampleMismatch(grng)
-		if _, err := g.Multiply(a, d); err != nil {
+		cells.SampleMismatch(c.Tech, grng)
+		r, err := g.MultiplyCells(a, d, &cells, &scr)
+		if err != nil {
 			return out, err
 		}
+		out.GoldenTransients += r.Transients
 	}
 	out.GoldenTime = time.Since(start)
-	out.GoldenTransients = g.Transients
 	return out, nil
 }
 

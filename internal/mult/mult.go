@@ -24,6 +24,7 @@ import (
 	"optima/internal/core"
 	"optima/internal/device"
 	"optima/internal/events"
+	"optima/internal/sched"
 	"optima/internal/spice"
 	"optima/internal/sram"
 	"optima/internal/stats"
@@ -104,6 +105,11 @@ type Result struct {
 	Sigma    float64              // analytic mismatch std of VComb [V] (behavioral only)
 	Energy   float64              // multiplication energy (bit-line recharge) [J]
 	DeltaV   [OperandBits]float64 // per-bit-line discharge at sampling [V]
+	// Transients counts the golden simulations this multiplication ran
+	// (0 for the behavioral backend). Returning the count per call keeps
+	// the golden multiplier free of shared mutable state, so callers
+	// aggregate speed-up accounting themselves.
+	Transients int
 }
 
 // ErrorLSB returns the signed multiplication error in ADC LSBs.
@@ -355,6 +361,13 @@ func (b *Behavioral) WriteEnergy() float64 {
 // becomes a transient simulation of the discharge stack. It quantizes with
 // the same full-scale calibration approach as the behavioral backend
 // (anchored at its own nominal (15,15) golden discharge).
+//
+// The receiver is immutable after construction, so a single Golden is safe
+// for concurrent Multiply/MultiplyCells calls — the basis of the engine's
+// intra-job parallel golden evaluation. All per-call state is explicit:
+// column mismatch is passed in as an *sram.Word (nil = matched cells),
+// integrator work buffers as a per-worker *spice.Scratch, and the transient
+// count of each call comes back in Result.Transients.
 type Golden struct {
 	Tech       device.Tech
 	Cfg        Config
@@ -362,11 +375,11 @@ type Golden struct {
 	Spice      spice.Config
 	LSBVolt    float64
 	OffsetVolt float64
-	// Cells carries per-column mismatch state (zero value = matched).
-	Cells [OperandBits]sram.Cell
-	// Transients counts golden simulations run (speed-up accounting).
-	Transients int
 }
+
+// The multiplier's per-column mismatch state is one sram.Word: cell i backs
+// bit line i. This pins the two widths together at compile time.
+var _ = sram.Word([OperandBits]sram.Cell{})
 
 // GoldenTrim is the per-configuration ADC trim of the golden multiplier:
 // the best-fit gain/offset of the nominal-condition transfer. The trim
@@ -385,29 +398,46 @@ type GoldenTrim struct {
 // sampling times, since the columns share the word line) and fits the
 // best-fit ADC gain/offset.
 func CalibrateGoldenTrim(tech device.Tech, cfg Config, scfg spice.Config) (GoldenTrim, error) {
+	return CalibrateGoldenTrimParallel(tech, cfg, scfg, 1)
+}
+
+// CalibrateGoldenTrimParallel is CalibrateGoldenTrim with the sixteen
+// independent transients fanned out across up to workers goroutines
+// (workers <= 0 uses GOMAXPROCS). Each worker fills a fixed per-code slot
+// and the least-squares fit reduces serially in code order, so the trim is
+// identical at any worker count.
+func CalibrateGoldenTrimParallel(tech device.Tech, cfg Config, scfg spice.Config, workers int) (GoldenTrim, error) {
 	if err := cfg.Validate(); err != nil {
 		return GoldenTrim{}, err
 	}
-	var trim GoldenTrim
 	nominal := device.Nominal()
 	// One transient per input code a; ΔV of bit i sampled at 2^i·τ0.
-	var dv [OperandMax + 1][OperandBits]float64
-	for a := uint(0); a <= OperandMax; a++ {
+	// sched.Map returns the rows in code order regardless of scheduling.
+	codes := make([]uint, OperandMax+1)
+	for a := range codes {
+		codes[a] = uint(a)
+	}
+	dv, err := sched.Map(workers, codes, func(_ int, a uint) ([OperandBits]float64, error) {
+		var row [OperandBits]float64
 		vwl := cfg.DACVoltage(a, nominal.VDD)
 		dp := spice.NewDischargePath(tech, vwl, nominal)
 		res, err := dp.Discharge(cfg.MaxTime(), scfg, 0)
 		if err != nil {
-			return GoldenTrim{}, fmt.Errorf("mult: golden trim calibration: %w", err)
+			return row, fmt.Errorf("mult: golden trim calibration: %w", err)
 		}
-		trim.Transients++
 		for i := 0; i < OperandBits; i++ {
 			d := nominal.VDD - res.Waveform.NodeAt(0, cfg.BitTime(i))
 			if d < 0 {
 				d = 0
 			}
-			dv[a][i] = d
+			row[i] = d
 		}
+		return row, nil
+	})
+	if err != nil {
+		return GoldenTrim{}, err
 	}
+	trim := GoldenTrim{Transients: len(codes)}
 	gain, offset, err := fitADCTrim(func(a, d uint) float64 {
 		var sum float64
 		for i := 0; i < OperandBits; i++ {
@@ -426,25 +456,18 @@ func CalibrateGoldenTrim(tech device.Tech, cfg Config, scfg spice.Config) (Golde
 }
 
 // NewGolden builds the golden multiplier, calibrating its ADC trim from
-// scratch. The trim transients are charged to the returned multiplier's
-// Transients count.
+// scratch. The trim's transient cost is reported by the trim itself; the
+// per-multiplication cost comes back in each Result.Transients.
 func NewGolden(tech device.Tech, cfg Config, cond device.PVT, scfg spice.Config) (*Golden, error) {
 	trim, err := CalibrateGoldenTrim(tech, cfg, scfg)
 	if err != nil {
 		return nil, err
 	}
-	g, err := NewGoldenWithTrim(tech, cfg, cond, scfg, trim)
-	if err != nil {
-		return nil, err
-	}
-	g.Transients = trim.Transients
-	return g, nil
+	return NewGoldenWithTrim(tech, cfg, cond, scfg, trim)
 }
 
 // NewGoldenWithTrim builds the golden multiplier around a previously
-// calibrated ADC trim, skipping the sixteen trim transients. The returned
-// multiplier's Transients count starts at zero — the trim cost was paid by
-// whoever produced trim.
+// calibrated ADC trim, skipping the sixteen trim transients.
 func NewGoldenWithTrim(tech device.Tech, cfg Config, cond device.PVT, scfg spice.Config, trim GoldenTrim) (*Golden, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -455,26 +478,24 @@ func NewGoldenWithTrim(tech device.Tech, cfg Config, cond device.PVT, scfg spice
 	}, nil
 }
 
-// SampleMismatch draws fresh mismatch for all four columns' cells.
-func (g *Golden) SampleMismatch(rng device.Gaussianer) {
-	for i := range g.Cells {
-		g.Cells[i].SampleMismatch(g.Tech, rng)
-	}
-}
-
-// ClearMismatch restores matched cells.
-func (g *Golden) ClearMismatch() {
-	for i := range g.Cells {
-		g.Cells[i] = sram.Cell{Bit: g.Cells[i].Bit}
-	}
-}
-
-// Multiply performs one golden multiplication. Columns whose d-bit is set
-// are simulated for their bit time; the mismatch state of each column's
-// cell applies.
+// Multiply performs one golden multiplication with matched cells. Safe for
+// concurrent use.
 func (g *Golden) Multiply(a, d uint) (Result, error) {
+	return g.MultiplyCells(a, d, nil, nil)
+}
+
+// MultiplyCells performs one golden multiplication with explicit per-call
+// state: cells carries the per-column mismatch (cell i backs bit line i;
+// nil means matched columns), scr optionally reuses one worker's integrator
+// buffers across calls. Columns whose d-bit is set are simulated for their
+// bit time. The receiver is never mutated, so concurrent calls with
+// distinct cells/scr are safe.
+func (g *Golden) MultiplyCells(a, d uint, cells *sram.Word, scr *spice.Scratch) (Result, error) {
 	if a > OperandMax || d > OperandMax {
 		return Result{}, fmt.Errorf("mult: operands (%d,%d) exceed %d bits", a, d, OperandBits)
+	}
+	if cells == nil {
+		cells = &sram.Word{}
 	}
 	res := Result{A: a, D: d, Expected: int(a * d)}
 	vwl := g.Cfg.DACVoltage(a, g.Cond.VDD)
@@ -483,12 +504,12 @@ func (g *Golden) Multiply(a, d uint) (Result, error) {
 		if d&(1<<uint(i)) == 0 {
 			continue
 		}
-		dp := g.Cells[i].DischargePath(g.Tech, vwl, g.Cond)
-		tr, err := dp.Discharge(g.Cfg.BitTime(i), g.Spice, 0)
+		dp := cells[i].DischargePath(g.Tech, vwl, g.Cond)
+		tr, err := dp.DischargeScratch(g.Cfg.BitTime(i), g.Spice, 0, scr)
 		if err != nil {
 			return Result{}, fmt.Errorf("mult: golden bit %d: %w", i, err)
 		}
-		g.Transients++
+		res.Transients++
 		dv := g.Cond.VDD - tr.Waveform.Final()[0]
 		if dv < 0 {
 			dv = 0

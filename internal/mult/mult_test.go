@@ -9,6 +9,7 @@ import (
 	"optima/internal/core"
 	"optima/internal/device"
 	"optima/internal/spice"
+	"optima/internal/sram"
 	"optima/internal/stats"
 )
 
@@ -285,6 +286,7 @@ func TestGoldenAgreesWithBehavioral(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	transients := 0
 	for _, pair := range [][2]uint{{3, 5}, {8, 8}, {15, 15}, {1, 14}, {12, 2}} {
 		rb, err := b.Multiply(pair[0], pair[1], nil)
 		if err != nil {
@@ -297,10 +299,22 @@ func TestGoldenAgreesWithBehavioral(t *testing.T) {
 		if diff := rb.Code - rg.Code; diff < -6 || diff > 6 {
 			t.Errorf("(%d,%d): behavioral %d vs golden %d", pair[0], pair[1], rb.Code, rg.Code)
 		}
+		if want := popcount(pair[1]); rg.Transients != want {
+			t.Errorf("(%d,%d): %d transients, want %d (one per set d-bit)", pair[0], pair[1], rg.Transients, want)
+		}
+		transients += rg.Transients
 	}
-	if g.Transients == 0 {
+	if transients == 0 {
 		t.Fatal("golden backend did not count transients")
 	}
+}
+
+func popcount(d uint) int {
+	n := 0
+	for ; d != 0; d >>= 1 {
+		n += int(d & 1)
+	}
+	return n
 }
 
 func TestGoldenMismatchShiftsResult(t *testing.T) {
@@ -315,21 +329,67 @@ func TestGoldenMismatchShiftsResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g.SampleMismatch(stats.NewRNG(3))
-	shifted, err := g.Multiply(9, 9)
+	var cells sram.Word
+	cells.SampleMismatch(core.QuickCalibration().Tech, stats.NewRNG(3))
+	shifted, err := g.MultiplyCells(9, 9, &cells, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if shifted.VComb == ref.VComb {
 		t.Fatal("mismatch had no effect on the golden result")
 	}
-	g.ClearMismatch()
-	restored, err := g.Multiply(9, 9)
+	cells.ClearMismatch()
+	restored, err := g.MultiplyCells(9, 9, &cells, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(restored.VComb-ref.VComb) > 1e-12 {
 		t.Fatal("ClearMismatch did not restore the nominal result")
+	}
+}
+
+// TestGoldenConcurrentMultiplyDeterministic pins the tentpole contract at
+// the mult layer: one shared Golden receiver, concurrent MultiplyCells
+// calls with per-worker scratch, results identical to the serial path.
+func TestGoldenConcurrentMultiplyDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden backend is slow")
+	}
+	g, err := NewGolden(core.QuickCalibration().Tech, fomConfig(), device.Nominal(), spice.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]uint{{1, 1}, {3, 7}, {9, 9}, {15, 15}, {2, 13}, {11, 4}, {7, 7}, {5, 10}}
+	serial := make([]Result, len(pairs))
+	for i, p := range pairs {
+		r, err := g.Multiply(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = r
+	}
+	parallel := make([]Result, len(pairs))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var scr spice.Scratch
+			for i := w; i < len(pairs); i += 4 {
+				r, err := g.MultiplyCells(pairs[i][0], pairs[i][1], nil, &scr)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				parallel[i] = r
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range pairs {
+		if serial[i] != parallel[i] {
+			t.Fatalf("pair %v: concurrent result %+v differs from serial %+v", pairs[i], parallel[i], serial[i])
+		}
 	}
 }
 

@@ -77,7 +77,15 @@ func (d *DischargePath) InitialState() []float64 {
 // Discharge runs the transient for the given duration and returns the
 // result. The caller reads V_BLB(t) from the waveform (node 0).
 func (d *DischargePath) Discharge(duration float64, cfg Config, sampleEvery float64) (*Result, error) {
-	return Transient(d, d.InitialState(), 0, duration, d.Cond.VDD, cfg, sampleEvery)
+	return d.DischargeScratch(duration, cfg, sampleEvery, nil)
+}
+
+// DischargeScratch is Discharge with caller-owned integrator work buffers —
+// workers that run many discharges back to back pass their own Scratch to
+// avoid reallocating the stage vectors per transient. A nil scr allocates
+// per call.
+func (d *DischargePath) DischargeScratch(duration float64, cfg Config, sampleEvery float64, scr *Scratch) (*Result, error) {
+	return TransientScratch(d, d.InitialState(), 0, duration, d.Cond.VDD, cfg, sampleEvery, scr)
 }
 
 // SampleMismatch draws fresh mismatch for both stack transistors.

@@ -90,12 +90,46 @@ var (
 	ckCs = [6]float64{2825.0 / 27648, 0, 18575.0 / 48384, 13525.0 / 55296, 277.0 / 14336, 1.0 / 4}
 )
 
+// Scratch holds the integrator's per-run work buffers (six stage vectors
+// plus the trial states). A transient that is handed a Scratch reuses its
+// buffers instead of allocating fresh ones, which matters when one worker
+// runs hundreds of short transients back to back (the golden multiplier's
+// input-space sweep). A Scratch serves one goroutine at a time; give each
+// worker its own. The zero value is ready to use.
+type Scratch struct {
+	k            [6][]float64
+	vtmp, v5, v4 []float64
+}
+
+// buffers returns the work vectors sized for dim state variables, growing
+// the backing arrays on first use (or when a larger system comes along).
+func (s *Scratch) buffers(dim int) (k [6][]float64, vtmp, v5, v4 []float64) {
+	if len(s.vtmp) < dim {
+		for i := range s.k {
+			s.k[i] = make([]float64, dim)
+		}
+		s.vtmp = make([]float64, dim)
+		s.v5 = make([]float64, dim)
+		s.v4 = make([]float64, dim)
+	}
+	for i := range s.k {
+		k[i] = s.k[i][:dim]
+	}
+	return k, s.vtmp[:dim], s.v5[:dim], s.v4[:dim]
+}
+
 // Transient integrates sys from t0 to t1 starting at state v0 and returns
 // the sampled waveform. vdd is used for supply-energy integration when the
 // system implements PowerMeter. sampleEvery > 0 records the state at that
 // interval (plus both endpoints); sampleEvery == 0 records every accepted
 // step.
 func Transient(sys System, v0 []float64, t0, t1 float64, vdd float64, cfg Config, sampleEvery float64) (*Result, error) {
+	return TransientScratch(sys, v0, t0, t1, vdd, cfg, sampleEvery, nil)
+}
+
+// TransientScratch is Transient with caller-owned work buffers; a nil scr
+// allocates per call (identical to Transient).
+func TransientScratch(sys System, v0 []float64, t0, t1 float64, vdd float64, cfg Config, sampleEvery float64, scr *Scratch) (*Result, error) {
 	dim := sys.Dim()
 	if len(v0) != dim {
 		return nil, fmt.Errorf("spice: initial state has %d entries, want %d", len(v0), dim)
@@ -126,13 +160,10 @@ func Transient(sys System, v0 []float64, t0, t1 float64, vdd float64, cfg Config
 	}
 	lastT := t
 
-	k := make([][]float64, 6)
-	for i := range k {
-		k[i] = make([]float64, dim)
+	if scr == nil {
+		scr = &Scratch{}
 	}
-	vtmp := make([]float64, dim)
-	v5 := make([]float64, dim)
-	v4 := make([]float64, dim)
+	k, vtmp, v5, v4 := scr.buffers(dim)
 
 	res := &Result{Waveform: wf}
 	for t < t1 {

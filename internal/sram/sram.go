@@ -68,6 +68,21 @@ func (w *Word) Store(value uint) error {
 	return nil
 }
 
+// SampleMismatch draws fresh static mismatch for every cell of the word
+// (cell order is fixed, so a seeded rng reproduces the same word state).
+func (w *Word) SampleMismatch(tech device.Tech, rng device.Gaussianer) {
+	for i := range w {
+		w[i].SampleMismatch(tech, rng)
+	}
+}
+
+// ClearMismatch restores matched cells, keeping the stored bits.
+func (w *Word) ClearMismatch() {
+	for i := range w {
+		w[i] = Cell{Bit: w[i].Bit}
+	}
+}
+
 // Value returns the stored unsigned integer.
 func (w *Word) Value() uint {
 	var v uint
