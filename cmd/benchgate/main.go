@@ -1,0 +1,125 @@
+// Command benchgate is the CI bench-regression gate: it compares a fresh
+// benchmark trajectory (BENCH_engine.json, written by the bench job) against
+// the previous run's artifact and fails when any benchmark recorded in both
+// slowed down by more than the allowed fraction.
+//
+// Usage:
+//
+//	benchgate -old prev/BENCH_engine.json -new BENCH_engine.json [-max-slowdown 0.30]
+//
+// A missing baseline file is not a failure (the first run of a branch has
+// nothing to compare against); a missing fresh file is. Benchmarks present
+// only on one side are reported but never gate — renames and additions must
+// not break CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Bench mirrors one entry of BENCH_engine.json.
+type Bench struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+func load(path string) ([]Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bench
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// result is one gate verdict line.
+type result struct {
+	line       string
+	regression bool
+}
+
+// gate compares the fresh benchmarks against the baseline. A benchmark
+// regresses when fresh > baseline·(1+maxSlowdown). Baselines at 0 ns/op
+// (clock-resolution underflow) never gate.
+func gate(baseline, fresh []Bench, maxSlowdown float64) []result {
+	base := make(map[string]Bench, len(baseline))
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	var out []result
+	seen := map[string]bool{}
+	for _, f := range fresh {
+		seen[f.Name] = true
+		b, ok := base[f.Name]
+		if !ok {
+			out = append(out, result{line: fmt.Sprintf("NEW   %-60s %14.0f ns/op", f.Name, f.NsPerOp)})
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			out = append(out, result{line: fmt.Sprintf("SKIP  %-60s baseline 0 ns/op", f.Name)})
+			continue
+		}
+		ratio := f.NsPerOp / b.NsPerOp
+		verdict := "OK   "
+		reg := ratio > 1+maxSlowdown
+		if reg {
+			verdict = "SLOW "
+		}
+		out = append(out, result{
+			line: fmt.Sprintf("%s %-60s %14.0f -> %14.0f ns/op (%+.1f%%)",
+				verdict, f.Name, b.NsPerOp, f.NsPerOp, 100*(ratio-1)),
+			regression: reg,
+		})
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			out = append(out, result{line: fmt.Sprintf("GONE  %-60s (was %14.0f ns/op)", b.Name, b.NsPerOp)})
+		}
+	}
+	return out
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline trajectory JSON (previous run's artifact)")
+	newPath := flag.String("new", "", "fresh trajectory JSON")
+	maxSlowdown := flag.Float64("max-slowdown", 0.30, "allowed fractional slowdown per benchmark")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
+		os.Exit(2)
+	}
+	baseline, err := load(*oldPath)
+	if os.IsNotExist(err) {
+		fmt.Printf("benchgate: no baseline at %s; nothing to gate\n", *oldPath)
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	regressions := 0
+	for _, r := range gate(baseline, fresh, *maxSlowdown) {
+		fmt.Println(r.line)
+		if r.regression {
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%\n",
+			regressions, *maxSlowdown*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions")
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func names(results []result, wantRegression bool) []string {
+	var out []string
+	for _, r := range results {
+		if r.regression == wantRegression {
+			out = append(out, r.line)
+		}
+	}
+	return out
+}
+
+func TestGateFlagsOnlyRealRegressions(t *testing.T) {
+	baseline := []Bench{
+		{Name: "BenchmarkEngineSweep/cold", NsPerOp: 1000},
+		{Name: "BenchmarkEngineSweep/cached", NsPerOp: 100},
+		{Name: "BenchmarkSearchAdaptive/cold", NsPerOp: 5000},
+		{Name: "BenchmarkRemoved", NsPerOp: 10},
+		{Name: "BenchmarkZeroBase", NsPerOp: 0},
+	}
+	fresh := []Bench{
+		{Name: "BenchmarkEngineSweep/cold", NsPerOp: 1290},   // +29%: within budget
+		{Name: "BenchmarkEngineSweep/cached", NsPerOp: 131},  // +31%: regression
+		{Name: "BenchmarkSearchAdaptive/cold", NsPerOp: 900}, // faster
+		{Name: "BenchmarkAdded", NsPerOp: 42},                // no baseline
+		{Name: "BenchmarkZeroBase", NsPerOp: 77},             // baseline 0: skipped
+	}
+	results := gate(baseline, fresh, 0.30)
+	regs := names(results, true)
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkEngineSweep/cached") {
+		t.Fatalf("regressions = %v, want exactly the cached sweep", regs)
+	}
+	var added, gone, skipped bool
+	for _, line := range names(results, false) {
+		added = added || strings.HasPrefix(line, "NEW") && strings.Contains(line, "BenchmarkAdded")
+		gone = gone || strings.HasPrefix(line, "GONE") && strings.Contains(line, "BenchmarkRemoved")
+		skipped = skipped || strings.HasPrefix(line, "SKIP") && strings.Contains(line, "BenchmarkZeroBase")
+	}
+	if !added || !gone || !skipped {
+		t.Fatalf("missing NEW/GONE/SKIP reporting: added=%v gone=%v skipped=%v", added, gone, skipped)
+	}
+}
+
+func TestGateExactBoundaryPasses(t *testing.T) {
+	baseline := []Bench{{Name: "B", NsPerOp: 1000}}
+	fresh := []Bench{{Name: "B", NsPerOp: 1300}} // exactly +30%
+	if regs := names(gate(baseline, fresh, 0.30), true); len(regs) != 0 {
+		t.Fatalf("+30%% exactly should pass, got %v", regs)
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	blob := `[{"name": "BenchmarkX", "iterations": 2, "ns_per_op": 123.5}]`
+	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "BenchmarkX" || got[0].NsPerOp != 123.5 || got[0].Iterations != 2 {
+		t.Fatalf("loaded %+v", got)
+	}
+	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: %v, want IsNotExist", err)
+	}
+}

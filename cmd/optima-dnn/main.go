@@ -42,15 +42,17 @@ func main() {
 	backend := flag.String("backend", engine.BackendBehavioral, "corner-selection backend: behavioral or golden")
 	cacheDir := flag.String("cache-dir", "",
 		"persist evaluation results in this directory (shared across runs; keyed by the calibration fingerprint)")
+	cacheMax := flag.Int64("cache-max-bytes", 0,
+		"evict least-recently-written cache segments beyond this size when the store opens (0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*outDir, *bench, *noisy, *modelPath, *workers, *backend, *cacheDir); err != nil {
+	if err := run(*outDir, *bench, *noisy, *modelPath, *workers, *backend, *cacheDir, *cacheMax); err != nil {
 		fmt.Fprintln(os.Stderr, "optima-dnn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, bench, noisy bool, modelPath string, workers int, backend, cacheDir string) error {
+func run(outDir string, bench, noisy bool, modelPath string, workers int, backend, cacheDir string, cacheMax int64) error {
 	if err := engine.ValidateBackendName(backend); err != nil {
 		return err
 	}
@@ -74,6 +76,7 @@ func run(outDir string, bench, noisy bool, modelPath string, workers int, backen
 	ctx.Workers = workers
 	ctx.Backend = backend
 	ctx.CacheDir = cacheDir
+	ctx.CacheMaxBytes = cacheMax
 	defer ctx.Close()
 
 	sel, err := ctx.Selection()

@@ -7,9 +7,21 @@
 //	optima calibrate [-quick] [-model out.json]
 //	optima figures   [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B] [-cache-dir dir]
 //	optima dse       [-out dir] [-model in.json] [-workers N] [-backend B] [-cache-dir dir]
+//	optima search    [-out dir] [-model in.json] [-workers N] [-cache-dir dir]
+//	                 [-tau0 spec] [-vdac0 spec] [-vdacfs spec] [-budget N]
+//	                 [-rungs R] [-eta F] [-finalists N] [-refine] [-promote] [-seed S]
 //	optima pvt       [-out dir] [-tau0 ns] [-vdac0 V] [-vdacfs V] [-corners] [-workers N] [-backend B] [-cache-dir dir]
 //	optima speedup   [-model in.json] [-mc N]
 //	optima all       [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B] [-cache-dir dir]
+//
+// search explores design spaces far larger than the paper's 48 corners with
+// the adaptive multi-fidelity driver (internal/search): every rung screens
+// candidates on the behavioral backend, successive halving keeps the
+// (ϵ_mul, E_mul) Pareto-rank + crowding survivors, and -promote (default
+// on) re-evaluates only the finalists on the golden transient backend. An
+// axis spec is either "min:max:steps" / "min:max:steps:log" (τ0 in ns,
+// voltages in V) or an explicit comma list like "0.16,0.20,0.24". With
+// -cache-dir, refinement sweeps across sessions re-evaluate nothing.
 //
 // -workers bounds the evaluation engine's TOTAL worker budget (0 = all
 // CPUs): the engine splits it between job-level fan-out and intra-job
@@ -25,7 +37,8 @@
 // `optima all -cache-dir out/cache` after `optima dse -cache-dir out/cache`
 // re-evaluates nothing. Use the same -model (or recalibrate identically)
 // across runs — a different calibration changes the fingerprint and starts
-// a fresh result set.
+// a fresh result set. -cache-max-bytes bounds the store's size: segments
+// over the budget are evicted least-recently-written first at open.
 //
 // Every artifact is written as .txt/.csv (tables) and .svg (charts) into
 // the output directory (default ./out).
@@ -62,6 +75,8 @@ func main() {
 		err = runFigures(args)
 	case "dse":
 		err = runDSE(args)
+	case "search":
+		err = runSearch(args)
 	case "pvt":
 		err = runPVT(args)
 	case "speedup":
@@ -85,6 +100,8 @@ commands:
   calibrate   fit the behavioral models against golden simulation
   figures     regenerate Fig. 1, 4, 5 and 6 artifacts
   dse         run the 48-corner exploration (Fig. 7, Table I, Fig. 8)
+  search      adaptive multi-fidelity exploration of large design spaces
+              (successive halving; behavioral screen, golden finalists)
   pvt         PVT robustness of one configuration (incl. golden corner check)
   speedup     measure the behavioral-vs-golden speed-up headlines
   all         everything above into one output directory`)
@@ -92,19 +109,22 @@ commands:
 
 // engineFlags registers the evaluation-engine flags shared by the
 // sweep-running subcommands.
-func engineFlags(fs *flag.FlagSet) (workers *int, backend, cacheDir *string) {
+func engineFlags(fs *flag.FlagSet) (workers *int, backend, cacheDir *string, cacheMax *int64) {
 	workers = fs.Int("workers", 0, "total evaluation worker budget, split between job-level and intra-job parallelism (0 = all CPUs)")
 	backend = fs.String("backend", engine.BackendBehavioral,
 		"evaluation backend: behavioral (fast models) or golden (transient simulation; orders of magnitude slower)")
 	cacheDir = fs.String("cache-dir", "",
 		"persist evaluation results in this directory (shared across runs; keyed by the calibration fingerprint)")
-	return workers, backend, cacheDir
+	cacheMax = fs.Int64("cache-max-bytes", 0,
+		"evict least-recently-written cache segments beyond this size when the store opens (0 = unlimited)")
+	return workers, backend, cacheDir, cacheMax
 }
 
 // makeContext builds an experiment context, loading a model when given.
-// workers, backend and cacheDir configure the context's evaluation engine.
-// Callers should defer ctx.Close() so the persistent store flushes.
-func makeContext(modelPath string, quick bool, workers int, backend, cacheDir string) (*exp.Context, error) {
+// workers, backend, cacheDir and cacheMax configure the context's
+// evaluation engine. Callers should defer ctx.Close() so the persistent
+// store flushes.
+func makeContext(modelPath string, quick bool, workers int, backend, cacheDir string, cacheMax int64) (*exp.Context, error) {
 	if err := engine.ValidateBackendName(backend); err != nil {
 		return nil, err
 	}
@@ -133,6 +153,7 @@ func makeContext(modelPath string, quick bool, workers int, backend, cacheDir st
 	ctx.Workers = workers
 	ctx.Backend = backend
 	ctx.CacheDir = cacheDir
+	ctx.CacheMaxBytes = cacheMax
 	return ctx, nil
 }
 
@@ -178,11 +199,11 @@ func runFigures(args []string) error {
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
 	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
-	workers, backend, cacheDir := engineFlags(fs)
+	workers, backend, cacheDir, cacheMax := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir, *cacheMax)
 	if err != nil {
 		return err
 	}
@@ -257,11 +278,11 @@ func runDSE(args []string) error {
 	fs := flag.NewFlagSet("dse", flag.ExitOnError)
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
-	workers, backend, cacheDir := engineFlags(fs)
+	workers, backend, cacheDir, cacheMax := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir, *cacheMax)
 	if err != nil {
 		return err
 	}
@@ -336,11 +357,11 @@ func runPVT(args []string) error {
 	vdac0 := fs.Float64("vdac0", 0.3, "DAC output for code 0 [V]")
 	vdacfs := fs.Float64("vdacfs", 1.0, "DAC full-scale output [V]")
 	corners := fs.Bool("corners", true, "run the golden process-corner check (slow)")
-	workers, backend, cacheDir := engineFlags(fs)
+	workers, backend, cacheDir, cacheMax := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir, *cacheMax)
 	if err != nil {
 		return err
 	}
@@ -389,7 +410,7 @@ func runSpeedup(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, 0, engine.BackendBehavioral, "")
+	ctx, err := makeContext(*modelPath, false, 0, engine.BackendBehavioral, "", 0)
 	if err != nil {
 		return err
 	}
@@ -420,11 +441,11 @@ func runAll(args []string) error {
 	outDir := fs.String("out", "out", "artifact directory")
 	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
-	workers, backend, cacheDir := engineFlags(fs)
+	workers, backend, cacheDir, cacheMax := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir)
+	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir, *cacheMax)
 	if err != nil {
 		return err
 	}

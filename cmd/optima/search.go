@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"optima/internal/engine"
+	"optima/internal/report"
+	"optima/internal/search"
+)
+
+// parseAxis turns a CLI axis spec into a search.Axis. Two forms:
+//
+//	min:max:steps[:log]   a materialized range, e.g. "0.16:0.28:100"
+//	v1,v2,...             explicit values, e.g. "0.3,0.4,0.5"
+//
+// scale converts the user unit into SI (ns → s for τ0, 1 for volts).
+func parseAxis(name, spec string, scale float64) (search.Axis, error) {
+	if strings.Contains(spec, ",") {
+		var vals []float64
+		for _, f := range strings.Split(spec, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return search.Axis{}, fmt.Errorf("axis %s: bad value %q", name, f)
+			}
+			vals = append(vals, v*scale)
+		}
+		a := search.ValuesAxis(name, vals...)
+		return a, a.Validate()
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 && !(len(parts) == 4 && parts[3] == "log") {
+		return search.Axis{}, fmt.Errorf("axis %s: want min:max:steps[:log] or a comma list, got %q", name, spec)
+	}
+	min, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return search.Axis{}, fmt.Errorf("axis %s: bad min %q", name, parts[0])
+	}
+	max, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return search.Axis{}, fmt.Errorf("axis %s: bad max %q", name, parts[1])
+	}
+	steps, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return search.Axis{}, fmt.Errorf("axis %s: bad steps %q", name, parts[2])
+	}
+	a := search.LinAxis(name, min*scale, max*scale, steps)
+	a.Log = len(parts) == 4
+	return a, a.Validate()
+}
+
+func runSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	outDir := fs.String("out", "out", "artifact directory")
+	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
+	workers := fs.Int("workers", 0, "total evaluation worker budget (0 = all CPUs)")
+	cacheDir := fs.String("cache-dir", "",
+		"persist evaluation results in this directory (shared across runs and fidelities)")
+	cacheMax := fs.Int64("cache-max-bytes", 0,
+		"evict least-recently-written cache segments beyond this size when the store opens (0 = unlimited)")
+	tau0 := fs.String("tau0", "0.16:0.28:100", "τ0 axis [ns]: min:max:steps[:log] or comma list")
+	vdac0 := fs.String("vdac0", "0.3:0.5:3", "V_DAC,0 axis [V]: min:max:steps[:log] or comma list")
+	vdacfs := fs.String("vdacfs", "0.7:1.0:4", "V_DAC,FS axis [V]: min:max:steps[:log] or comma list")
+	budget := fs.Int("budget", 0, "rung-0 candidate budget; larger spaces are sampled (0 = full space)")
+	rungs := fs.Int("rungs", search.DefaultRungs, "screening rungs (successive halving rounds)")
+	eta := fs.Float64("eta", search.DefaultEta, "halving ratio between rungs (> 1)")
+	finalists := fs.Int("finalists", 0, "cap on corners promoted to the golden fidelity (0 = last rung's survivors)")
+	refine := fs.Bool("refine", false, "insert per-axis midpoint candidates around each rung's survivors")
+	promote := fs.Bool("promote", true, "re-evaluate finalists on the golden transient backend")
+	seed := fs.Uint64("seed", 1, "candidate sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	space := search.Space{}
+	var err error
+	if space.Tau0, err = parseAxis("tau0", *tau0, 1e-9); err != nil {
+		return err
+	}
+	if space.VDAC0, err = parseAxis("vdac0", *vdac0, 1); err != nil {
+		return err
+	}
+	if space.VDACFS, err = parseAxis("vdacfs", *vdacfs, 1); err != nil {
+		return err
+	}
+
+	ctx, err := makeContext(*modelPath, false, *workers, engine.BackendBehavioral, *cacheDir, *cacheMax)
+	if err != nil {
+		return err
+	}
+	defer ctx.Close()
+	screen, err := ctx.EngineFor(engine.BackendBehavioral)
+	if err != nil {
+		return err
+	}
+	opts := search.Options{
+		Space:     space,
+		Screen:    screen,
+		Budget:    *budget,
+		Rungs:     *rungs,
+		Eta:       *eta,
+		Finalists: *finalists,
+		Refine:    *refine,
+		Seed:      *seed,
+	}
+	if *promote {
+		if opts.Final, err = ctx.EngineFor(engine.BackendGolden); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	res, err := search.Run(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("searched %d-corner space in %v\n", res.Trace.SpaceSize, time.Since(start))
+
+	rungTbl := report.NewTable("Adaptive search rungs",
+		"rung", "fidelity", "candidates", "evaluated", "cache hits", "store hits", "promoted")
+	for _, r := range res.Trace.Rungs {
+		fid := r.Fidelity
+		if r.Final {
+			fid += " (final)"
+		}
+		rungTbl.AddRow(r.Rung, fid, r.Candidates, r.Evaluated, r.CacheHits, r.StoreHits, r.Promoted)
+	}
+	fmt.Print(rungTbl.String())
+	fmt.Printf("exhaustive golden sweep would evaluate %d corners; adaptive ran %d golden + %d behavioral evaluations (%.1f%% golden)\n",
+		res.Trace.SpaceSize, res.Trace.FinalEvaluations(), res.Trace.ScreenEvaluations(),
+		100*float64(res.Trace.FinalEvaluations())/float64(res.Trace.SpaceSize))
+
+	frontTbl := report.NewTable("Adaptive-search Pareto front (energy ↑, error ↓)",
+		"tau0 [ns]", "vdac0 [V]", "vdacfs [V]", "eps_mul [LSB]", "E_mul [fJ]", "FOM")
+	for _, m := range res.Front {
+		frontTbl.AddRow(m.Config.Tau0*1e9, m.Config.VDAC0, m.Config.VDACFS,
+			m.EpsMul, m.EMul*1e15, m.FOM())
+	}
+	fmt.Print(frontTbl.String())
+
+	out, err := report.NewOutput(*outDir)
+	if err != nil {
+		return err
+	}
+	if err := out.WriteTable("search_rungs", rungTbl); err != nil {
+		return err
+	}
+	if err := out.WriteTable("search_front", frontTbl); err != nil {
+		return err
+	}
+	if err := writeSearchJSON(filepath.Join(*outDir, "search.json"), res); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s/search.json\n", *outDir)
+	printEngineStats(ctx)
+	return nil
+}
+
+// writeSearchJSON persists the machine-readable report: the final front and
+// the per-rung evaluation trace.
+func writeSearchJSON(path string, res *search.Result) error {
+	data, err := json.MarshalIndent(struct {
+		Front     []search.FrontPoint `json:"front"`
+		Finalists int                 `json:"finalists"`
+		Trace     search.Trace        `json:"trace"`
+	}{search.FrontPoints(res.Front), len(res.Finalists), res.Trace}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

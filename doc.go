@@ -9,11 +9,22 @@
 // internal/core and the 4-bit in-SRAM multiplier case study in internal/mult.
 // All corner/condition evaluations route through the concurrent memoizing
 // evaluation service in internal/engine, which the exploration layers
-// (internal/dse, internal/exp) submit jobs to — singly or via the batched
-// submission path. The engine's cache is tiered: in-memory, then the
-// persistent content-addressed result store in internal/store (an
+// (internal/dse, internal/search, internal/exp) submit jobs to — singly or
+// via the batched submission path. The engine's cache is tiered: in-memory,
+// then the persistent content-addressed result store in internal/store (an
 // append-only segment log keyed on (backend, config, condition) plus a
-// calibration fingerprint; enabled with -cache-dir), then the backend.
+// calibration fingerprint; enabled with -cache-dir, bounded with
+// Options.MaxBytes retention), then the backend.
+//
+// Two exploration layers sit on the engine. internal/dse is the paper's
+// exhaustive layer: the 48-corner grid, corner selection, Pareto fronts,
+// PVT robustness. internal/search is the adaptive multi-fidelity layer for
+// spaces orders of magnitude larger: a validated Space (per-axis ranges
+// with linear/log refinement, generalizing dse.Grid) is screened rung by
+// rung on the behavioral backend with successive halving — survivors kept
+// by (eps_mul, E_mul) Pareto rank and crowding distance — and only the
+// finalists are re-evaluated on the golden transient backend (the optima
+// search subcommand; see examples/adaptive-search).
 // Concurrency is two-level under one total worker budget: jobs fan out
 // across the engine's pool, and the golden backend additionally fans each
 // corner's ~500 transients out across its granted intra-job share — with

@@ -40,6 +40,28 @@ func DefaultGrid() Grid {
 	}
 }
 
+// Validate rejects grids that cannot produce a corner: an empty axis slice
+// (the classic silent-empty-sweep bug) or a grid whose combinations are all
+// physically invalid. Sweep and SweepWith call it, so a misbuilt grid is a
+// descriptive error instead of an empty result.
+func (g Grid) Validate() error {
+	for _, axis := range []struct {
+		name string
+		vals []float64
+	}{{"tau0", g.Tau0s}, {"vdac0", g.VDAC0s}, {"vdacfs", g.VDACFSs}} {
+		if len(axis.vals) == 0 {
+			return fmt.Errorf("dse: grid axis %s is empty", axis.name)
+		}
+	}
+	if len(g.Configs()) == 0 {
+		// Every combination failed mult.Config validation; the first
+		// combination's error names the actual violation.
+		first := mult.Config{Tau0: g.Tau0s[0], VDAC0: g.VDAC0s[0], VDACFS: g.VDACFSs[0]}
+		return fmt.Errorf("dse: grid has no valid corner: %w", first.Validate())
+	}
+	return nil
+}
+
 // Configs expands the grid into the corner list (row-major:
 // τ0 outermost, V_DAC,FS innermost), skipping invalid combinations.
 func (g Grid) Configs() []mult.Config {
@@ -82,7 +104,13 @@ func Sweep(model *core.Model, grid Grid, workers int) ([]Metrics, error) {
 // store attached — freshly computed corners persist in groups. Results come
 // back in grid order regardless of the engine's worker count.
 func SweepWith(eng *engine.Engine, grid Grid, cond device.PVT) ([]Metrics, error) {
-	mets, err := eng.EvaluateBatch(engine.Jobs(grid.Configs(), cond))
+	cfgs := grid.Configs()
+	if len(cfgs) == 0 {
+		// Validate expands the grid again, but only on this error path; the
+		// sweep itself pays one expansion.
+		return nil, grid.Validate()
+	}
+	mets, err := eng.EvaluateBatch(engine.Jobs(cfgs, cond))
 	if err != nil {
 		return nil, fmt.Errorf("dse: %w", err)
 	}

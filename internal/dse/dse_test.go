@@ -313,3 +313,89 @@ func TestGoldenCornerCheck(t *testing.T) {
 		t.Fatal("no transients counted")
 	}
 }
+
+// TestGridValidate pins the empty-axis bugfix: a grid with any empty axis
+// slice — or no physically valid combination at all — must be a
+// descriptive error from Sweep/SweepWith, never a silently empty result.
+func TestGridValidate(t *testing.T) {
+	m := testModel(t)
+	good := DefaultGrid()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default grid invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		grid Grid
+	}{
+		{"empty-tau0", Grid{VDAC0s: []float64{0.3}, VDACFSs: []float64{0.9}}},
+		{"empty-vdac0", Grid{Tau0s: []float64{0.2e-9}, VDACFSs: []float64{0.9}}},
+		{"empty-vdacfs", Grid{Tau0s: []float64{0.2e-9}, VDAC0s: []float64{0.3}}},
+		{"all-empty", Grid{}},
+		{"no-valid-corner", Grid{Tau0s: []float64{0.2e-9}, VDAC0s: []float64{0.9}, VDACFSs: []float64{0.7}}},
+	}
+	for _, tc := range cases {
+		if err := tc.grid.Validate(); err == nil {
+			t.Errorf("%s: Validate passed, want error", tc.name)
+		}
+		if _, err := Sweep(m, tc.grid, 1); err == nil {
+			t.Errorf("%s: Sweep returned no error for an unusable grid", tc.name)
+		}
+		if _, err := SweepWith(engine.New(engine.Behavioral{Model: m}, 1), tc.grid, device.Nominal()); err == nil {
+			t.Errorf("%s: SweepWith returned no error for an unusable grid", tc.name)
+		}
+	}
+}
+
+// synthetic builds a metrics point for Pareto edge-case tests.
+func synthetic(tau float64, eps, energy float64) Metrics {
+	return Metrics{
+		Config: mult.Config{Tau0: tau, VDAC0: 0.3, VDACFS: 1.0},
+		EpsMul: eps, EMul: energy,
+	}
+}
+
+// TestParetoFrontEdgeCases covers the degenerate inputs the sweep-backed
+// property test cannot reach: duplicates, a single corner, and
+// all-dominated ties.
+func TestParetoFrontEdgeCases(t *testing.T) {
+	// Single corner: the front is that corner.
+	single := []Metrics{synthetic(1e-10, 2, 5)}
+	if front := ParetoFront(single); !reflect.DeepEqual(front, single) {
+		t.Fatalf("single-corner front = %v", front)
+	}
+
+	// Exact duplicates: neither dominates the other (dominance needs a
+	// strict improvement), so both duplicates stay on the front.
+	dup := []Metrics{
+		synthetic(1e-10, 2, 5),
+		synthetic(2e-10, 2, 5),
+		synthetic(3e-10, 3, 6), // dominated by both duplicates
+	}
+	front := ParetoFront(dup)
+	if len(front) != 2 {
+		t.Fatalf("duplicate front has %d points, want both duplicates (2)", len(front))
+	}
+	for _, f := range front {
+		if f.EpsMul != 2 || f.EMul != 5 {
+			t.Fatalf("unexpected front member %+v", f)
+		}
+	}
+
+	// All-dominated ties: corners tied in one metric but strictly worse in
+	// the other are all dominated — the front collapses to the one optimum.
+	ties := []Metrics{
+		synthetic(1e-10, 1, 1),
+		synthetic(2e-10, 1, 2), // ties eps, worse energy
+		synthetic(3e-10, 2, 1), // ties energy, worse eps
+		synthetic(4e-10, 2, 2), // worse in both
+	}
+	front = ParetoFront(ties)
+	if len(front) != 1 || front[0].Config.Tau0 != 1e-10 {
+		t.Fatalf("tie front = %+v, want only the (1,1) corner", front)
+	}
+
+	// Empty input: empty front, no panic.
+	if front := ParetoFront(nil); len(front) != 0 {
+		t.Fatalf("nil input produced front %v", front)
+	}
+}

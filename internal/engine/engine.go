@@ -121,6 +121,20 @@ func (s Stats) String() string {
 	return out
 }
 
+// Sub returns the counter deltas s − prev (Entries carries over from s).
+// Exploration layers use it to attribute engine activity to one phase — the
+// adaptive search records a Stats delta per rung, which is how its Trace
+// separates fresh backend evaluations from cache and store hits.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:        s.Hits - prev.Hits,
+		DiskHits:    s.DiskHits - prev.DiskHits,
+		Misses:      s.Misses - prev.Misses,
+		StoreErrors: s.StoreErrors - prev.StoreErrors,
+		Entries:     s.Entries,
+	}
+}
+
 // entry is one cache slot. done is closed when met/err are valid, so
 // concurrent submitters of the same key wait instead of recomputing.
 type entry struct {

@@ -43,12 +43,19 @@ type Context struct {
 	// before the first evaluation. A store that cannot be opened degrades
 	// to the memory-only cache with a warning, never a failed run.
 	CacheDir string
+	// CacheMaxBytes bounds the persistent store's on-disk size: segments
+	// over the budget are evicted least-recently-written first when the
+	// store opens (store.Options.MaxBytes). <= 0 means unlimited.
+	CacheMaxBytes int64
 
 	engOnce      sync.Once
 	eng          *engine.Engine
 	resultStore  *store.Store
 	selection    *dse.Selection
 	sweepMetrics []dse.Metrics
+
+	extraMu      sync.Mutex
+	extraEngines map[string]*engine.Engine
 }
 
 // NewContext calibrates a model with the given recipe and returns a ready
@@ -98,7 +105,7 @@ func (c *Context) Engine() *engine.Engine {
 		}
 		c.eng = engine.New(backend, c.Workers)
 		if c.CacheDir != "" {
-			st, err := store.Open(c.CacheDir, store.Options{Fingerprint: c.Fingerprint()})
+			st, err := store.Open(c.CacheDir, store.Options{Fingerprint: c.Fingerprint(), MaxBytes: c.CacheMaxBytes})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "exp: persistent result store disabled: %v\n", err)
 				return
@@ -108,6 +115,46 @@ func (c *Context) Engine() *engine.Engine {
 		}
 	})
 	return c.eng
+}
+
+// EngineFor returns a session engine evaluating on the named backend: the
+// session engine itself when the name matches the Backend setting,
+// otherwise a per-backend engine cached on the context, built with the
+// session's Workers bound and sharing its persistent store (results are
+// keyed by backend name, so one store serves every fidelity). The adaptive
+// search uses it to pair a behavioral screen engine with a golden
+// promotion engine over one cache directory. The engines share the session
+// store but not a worker-budget negotiation — run them sequentially, not
+// concurrently, or the combined fan-out can oversubscribe Workers.
+func (c *Context) EngineFor(name string) (*engine.Engine, error) {
+	if err := engine.ValidateBackendName(name); err != nil {
+		return nil, err
+	}
+	main := c.Engine() // resolves Backend/Workers/CacheDir on first use
+	if name == "" {
+		name = engine.BackendBehavioral
+	}
+	if name == main.Backend().Name() {
+		return main, nil
+	}
+	c.extraMu.Lock()
+	defer c.extraMu.Unlock()
+	if eng, ok := c.extraEngines[name]; ok {
+		return eng, nil
+	}
+	backend, err := engine.ByName(name, c.Model, c.Tech, c.Spice)
+	if err != nil {
+		return nil, fmt.Errorf("exp: %w", err)
+	}
+	eng := engine.New(backend, c.Workers)
+	if c.resultStore != nil {
+		eng.WithStore(c.resultStore)
+	}
+	if c.extraEngines == nil {
+		c.extraEngines = map[string]*engine.Engine{}
+	}
+	c.extraEngines[name] = eng
+	return eng, nil
 }
 
 // Store returns the session's persistent result store, or nil when CacheDir

@@ -10,6 +10,7 @@ import (
 	"optima/internal/device"
 	"optima/internal/dnn"
 	"optima/internal/dse"
+	"optima/internal/engine"
 	"optima/internal/mult"
 	"optima/internal/refdata"
 )
@@ -310,5 +311,62 @@ func TestContextSharesEngineAcrossExperiments(t *testing.T) {
 	st = ctx.Engine().Stats()
 	if st.Misses != before.Misses || st.Hits != before.Hits+48 {
 		t.Fatalf("cached re-sweep evaluated corners: before %v, after %v", before, st)
+	}
+}
+
+// TestEngineFor pins the multi-fidelity engine wiring the adaptive search
+// depends on: the session engine is reused for the configured backend,
+// other backends get one cached engine each sharing the session store.
+func TestEngineFor(t *testing.T) {
+	ctx := NewContextWithModel(testContext(t).Model, testContext(t).Tech)
+	ctx.CacheDir = t.TempDir()
+
+	behav, err := ctx.EngineFor(engine.BackendBehavioral)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if behav != ctx.Engine() {
+		t.Fatal("behavioral EngineFor must reuse the session engine")
+	}
+	if def, err := ctx.EngineFor(""); err != nil || def != behav {
+		t.Fatalf("empty name = %v, %v; want the behavioral session engine", def, err)
+	}
+
+	golden, err := ctx.EngineFor(engine.BackendGolden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden == behav {
+		t.Fatal("golden EngineFor returned the behavioral engine")
+	}
+	if golden.Backend().Name() != engine.BackendGolden {
+		t.Fatalf("golden engine runs backend %q", golden.Backend().Name())
+	}
+	again, err := ctx.EngineFor(engine.BackendGolden)
+	if err != nil || again != golden {
+		t.Fatalf("EngineFor must cache per backend (got %v, %v)", again, err)
+	}
+	if _, err := ctx.EngineFor("bogus"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+
+	// Both engines persist into the session store: evaluate one corner on
+	// each and check the store holds results under both backend names.
+	cfg := mult.Config{Tau0: 0.2e-9, VDAC0: 0.3, VDACFS: 1.0}
+	if _, err := behav.Evaluate(cfg, device.Nominal()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := golden.Evaluate(cfg, device.Nominal()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := ctx.Store()
+	if st == nil {
+		t.Fatal("no store despite CacheDir")
+	}
+	if got := st.Len(); got != 2 {
+		t.Fatalf("store holds %d results, want one per fidelity (2)", got)
 	}
 }

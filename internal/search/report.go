@@ -1,0 +1,33 @@
+package search
+
+import "optima/internal/dse"
+
+// FrontPoint is the machine-readable view of one Pareto-front member, in
+// the paper's reporting units (ns, V, LSB, fJ) — the JSON/CSV schema of the
+// `optima search` report.
+type FrontPoint struct {
+	Tau0NS   float64 `json:"tau0_ns"`
+	VDAC0V   float64 `json:"vdac0_v"`
+	VDACFSV  float64 `json:"vdacfs_v"`
+	EpsMul   float64 `json:"eps_mul_lsb"`
+	EMulFJ   float64 `json:"e_mul_fj"`
+	FOM      float64 `json:"fom"`
+	SigmaLSB float64 `json:"sigma_max_lsb"`
+}
+
+// FrontPoints converts front metrics into report points, preserving order.
+func FrontPoints(front []dse.Metrics) []FrontPoint {
+	out := make([]FrontPoint, len(front))
+	for i, m := range front {
+		out[i] = FrontPoint{
+			Tau0NS:   m.Config.Tau0 * 1e9,
+			VDAC0V:   m.Config.VDAC0,
+			VDACFSV:  m.Config.VDACFS,
+			EpsMul:   m.EpsMul,
+			EMulFJ:   m.EMul * 1e15,
+			FOM:      m.FOM(),
+			SigmaLSB: m.SigmaMaxLSB,
+		}
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"optima/internal/device"
+	"optima/internal/dse"
+	"optima/internal/engine"
+	"optima/internal/mult"
+)
+
+// Options configures a search run. Screen is required; everything else has
+// a sensible default.
+type Options struct {
+	// Space is the explored design space.
+	Space Space
+	// Cond is the operating condition every corner is scored at; the zero
+	// value means device.Nominal().
+	Cond device.PVT
+	// Screen is the cheap-fidelity engine every rung's candidates are
+	// submitted to (behavioral in the CLI wiring).
+	Screen *engine.Engine
+	// Final is the optional high-fidelity engine (golden in the CLI wiring):
+	// when set, the finalists surviving the last rung are re-evaluated on it
+	// and the returned front is at its fidelity. When nil, the front is at
+	// screen fidelity.
+	Final *engine.Engine
+	// Budget caps the rung-0 candidate count; a space larger than the
+	// budget is sampled deterministically (Seed). <= 0 means the full space.
+	Budget int
+	// Rungs is the number of screening rounds (default DefaultRungs). Each
+	// rung evaluates its pool through the screen engine and keeps
+	// ceil(n0/Eta^(rung+1)) survivors.
+	Rungs int
+	// Eta is the halving ratio between rungs (default DefaultEta; must
+	// exceed 1).
+	Eta float64
+	// Finalists caps how many survivors of the last rung are promoted to
+	// the final fidelity. <= 0 keeps the last rung's natural survivor count.
+	Finalists int
+	// Refine, when true, inserts per-axis midpoint candidates around each
+	// rung's survivors (linear or geometric per the axis), letting the
+	// search sharpen resolution beyond the initial lattice. New candidates
+	// per rung are capped at the survivor count (seeded sampling).
+	Refine bool
+	// Seed drives candidate sampling and refinement capping (any value is
+	// fine, including 0).
+	Seed uint64
+}
+
+// Defaults for Options.
+const (
+	DefaultRungs = 3
+	DefaultEta   = 2.0
+)
+
+// RungStats records one rung's evaluation accounting — the
+// exhaustive-vs-adaptive evidence the Trace exists for.
+type RungStats struct {
+	// Rung indexes screening rungs from 0; the fidelity-promotion pass (if
+	// any) is the last entry and reuses the next index.
+	Rung int
+	// Fidelity is the backend name the rung's engine evaluated on.
+	Fidelity string
+	// Candidates is the number of corners submitted this rung.
+	Candidates int
+	// Evaluated counts candidates that ran the backend (engine cache
+	// misses attributed to this rung).
+	Evaluated uint64
+	// CacheHits counts candidates served by the engine's in-memory tier.
+	CacheHits uint64
+	// StoreHits counts candidates served by the persistent store tier.
+	StoreHits uint64
+	// Promoted is how many survivors this rung passed on.
+	Promoted int
+	// Final marks the fidelity-promotion pass (the Final engine), so the
+	// trace distinguishes it even when screen and final backends share a
+	// name (as test doubles do).
+	Final bool
+}
+
+// Trace is the per-rung evaluation record of a search run.
+type Trace struct {
+	// SpaceSize is the valid-corner count of the full space — what an
+	// exhaustive sweep would evaluate.
+	SpaceSize int
+	// Sampled is the rung-0 candidate count after the budget cap.
+	Sampled int
+	// Rungs holds the per-rung stats, screening rungs first, the
+	// fidelity-promotion pass (when a Final engine is set) last.
+	Rungs []RungStats
+}
+
+// ScreenEvaluations sums backend evaluations across screening rungs.
+func (t Trace) ScreenEvaluations() uint64 {
+	var n uint64
+	for _, r := range t.Rungs {
+		if !r.Final {
+			n += r.Evaluated
+		}
+	}
+	return n
+}
+
+// FinalEvaluations returns the backend evaluations of the promotion pass.
+func (t Trace) FinalEvaluations() uint64 {
+	var n uint64
+	for _, r := range t.Rungs {
+		if r.Final {
+			n += r.Evaluated
+		}
+	}
+	return n
+}
+
+// Result is a search outcome.
+type Result struct {
+	// Front is the Pareto front over the finalists in (EpsMul, EMul), at
+	// the highest fidelity evaluated, sorted by energy (dse.ParetoFront).
+	Front []dse.Metrics
+	// Finalists holds every promoted corner's metrics at the final
+	// fidelity, in deterministic candidate order (Front is a subset).
+	Finalists []dse.Metrics
+	// Trace is the per-rung accounting.
+	Trace Trace
+}
+
+// Run explores the space. See the package comment for the algorithm; the
+// result is deterministic for fixed Options regardless of the engines'
+// worker counts or an attached store's prior contents.
+func Run(opts Options) (*Result, error) {
+	if opts.Screen == nil {
+		return nil, fmt.Errorf("search: Options.Screen engine is required")
+	}
+	rungs := opts.Rungs
+	if rungs <= 0 {
+		rungs = DefaultRungs
+	}
+	eta := opts.Eta
+	if eta == 0 {
+		eta = DefaultEta
+	}
+	if eta <= 1 {
+		return nil, fmt.Errorf("search: halving ratio eta %v must exceed 1", eta)
+	}
+	if math.IsNaN(eta) || math.IsInf(eta, 0) {
+		return nil, fmt.Errorf("search: non-finite halving ratio %v", eta)
+	}
+	cond := opts.Cond
+	if cond == (device.PVT{}) {
+		cond = device.Nominal()
+	}
+
+	all, err := opts.Space.Configs()
+	if err != nil {
+		return nil, err
+	}
+	pool := sampleSubset(all, opts.Budget, opts.Seed)
+	n0 := len(pool)
+	trace := Trace{SpaceSize: len(all), Sampled: n0}
+
+	// seen tracks every corner that has entered any rung's pool, so
+	// refinement never proposes a duplicate.
+	seen := make(map[mult.Config]bool, 2*n0)
+	for _, c := range pool {
+		seen[c] = true
+	}
+	var ref *refiner
+	if opts.Refine {
+		ref = newRefiner(opts.Space)
+	}
+
+	var survivors []mult.Config
+	var survivorMets []dse.Metrics
+	for r := 0; r < rungs; r++ {
+		mets, stats, err := evaluateRung(opts.Screen, pool, cond)
+		if err != nil {
+			return nil, err
+		}
+		// Successive-halving schedule: survivors shrink by eta per rung
+		// relative to the initial pool, independent of refinement growth.
+		keep := int(math.Ceil(float64(n0) / math.Pow(eta, float64(r+1))))
+		if keep < 1 {
+			keep = 1
+		}
+		if keep > len(pool) {
+			keep = len(pool)
+		}
+		if r == rungs-1 && opts.Finalists > 0 && keep > opts.Finalists {
+			keep = opts.Finalists
+		}
+		order := paretoOrder(mets)
+		pick := append([]int(nil), order[:keep]...)
+		sort.Ints(pick) // survivors stay in pool (grid) order
+		survivors = make([]mult.Config, keep)
+		survivorMets = make([]dse.Metrics, keep)
+		for i, idx := range pick {
+			survivors[i] = pool[idx]
+			survivorMets[i] = mets[idx]
+		}
+
+		stats.Rung = r
+		stats.Promoted = keep
+		trace.Rungs = append(trace.Rungs, stats)
+
+		if r == rungs-1 {
+			break
+		}
+		pool = survivors
+		if ref != nil {
+			// Cap refinement growth at the survivor count so pools shrink
+			// geometrically; the cap samples deterministically per rung, and
+			// only the kept proposals commit into the refiner — a dropped
+			// proposal stays eligible for later rungs.
+			props := sampleSubset(ref.Around(survivors, seen), keep, opts.Seed+uint64(r)+1)
+			pool = append(append([]mult.Config(nil), survivors...), ref.Commit(props, seen)...)
+		}
+	}
+
+	res := &Result{Trace: trace}
+	if opts.Final != nil {
+		fmets, stats, err := evaluateRung(opts.Final, survivors, cond)
+		if err != nil {
+			return nil, err
+		}
+		stats.Rung = rungs
+		stats.Final = true
+		stats.Promoted = len(fmets)
+		res.Trace.Rungs = append(res.Trace.Rungs, stats)
+		res.Finalists = fmets
+	} else {
+		res.Finalists = survivorMets
+	}
+	res.Front = dse.ParetoFront(res.Finalists)
+	return res, nil
+}
+
+// evaluateRung submits one rung's pool as a single engine batch and
+// attributes the engine's accounting delta to the rung.
+func evaluateRung(eng *engine.Engine, pool []mult.Config, cond device.PVT) ([]dse.Metrics, RungStats, error) {
+	pre := eng.Stats()
+	mets, err := eng.EvaluateBatch(engine.Jobs(pool, cond))
+	if err != nil {
+		return nil, RungStats{}, fmt.Errorf("search: %w", err)
+	}
+	d := eng.Stats().Sub(pre)
+	return mets, RungStats{
+		Fidelity:   eng.Backend().Name(),
+		Candidates: len(pool),
+		Evaluated:  d.Misses,
+		CacheHits:  d.Hits,
+		StoreHits:  d.DiskHits,
+	}, nil
+}
+
+// paretoOrder returns the candidate indices ordered best-first: ascending
+// non-dominated rank in (EpsMul, EMul), then descending crowding distance
+// within a rank, then ascending index. The order is a deterministic
+// function of the metrics alone — the selection half of the search's
+// worker-invariance contract.
+func paretoOrder(mets []dse.Metrics) []int {
+	n := len(mets)
+	rank := paretoRanks(mets)
+	crowd := crowdingDistances(mets, rank)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if rank[ia] != rank[ib] {
+			return rank[ia] < rank[ib]
+		}
+		if crowd[ia] != crowd[ib] {
+			return crowd[ia] > crowd[ib]
+		}
+		return ia < ib
+	})
+	return order
+}
+
+// dominates reports Pareto dominance of a over b in (EpsMul, EMul).
+func dominates(a, b dse.Metrics) bool {
+	return a.EpsMul <= b.EpsMul && a.EMul <= b.EMul &&
+		(a.EpsMul < b.EpsMul || a.EMul < b.EMul)
+}
+
+// paretoRanks peels non-dominated fronts: rank 0 is the Pareto front, rank
+// 1 the front of the rest, and so on (the NSGA-II layering).
+func paretoRanks(mets []dse.Metrics) []int {
+	n := len(mets)
+	rank := make([]int, n)
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for level := 0; len(remaining) > 0; level++ {
+		var front, rest []int
+		for _, i := range remaining {
+			dominated := false
+			for _, j := range remaining {
+				if i != j && dominates(mets[j], mets[i]) {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				rest = append(rest, i)
+			} else {
+				front = append(front, i)
+			}
+		}
+		if len(front) == 0 {
+			// Cannot happen with a strict dominance relation (every finite
+			// poset has minimal elements); guard against infinite loops if
+			// metrics contain NaN, which breaks the order axioms.
+			for _, i := range rest {
+				rank[i] = level
+			}
+			break
+		}
+		for _, i := range front {
+			rank[i] = level
+		}
+		remaining = rest
+	}
+	return rank
+}
+
+// crowdingDistances computes the per-candidate crowding distance within its
+// rank: boundary candidates (per objective) get +Inf, interior ones the sum
+// of normalized neighbor gaps — NSGA-II's diversity pressure, which keeps
+// the survivor set spread along the front instead of clustered.
+func crowdingDistances(mets []dse.Metrics, rank []int) []float64 {
+	n := len(mets)
+	crowd := make([]float64, n)
+	byRank := map[int][]int{}
+	for i, r := range rank {
+		byRank[r] = append(byRank[r], i)
+	}
+	for _, members := range byRank {
+		if len(members) <= 2 {
+			for _, i := range members {
+				crowd[i] = math.Inf(1)
+			}
+			continue
+		}
+		for _, obj := range []func(dse.Metrics) float64{
+			func(m dse.Metrics) float64 { return m.EpsMul },
+			func(m dse.Metrics) float64 { return m.EMul },
+		} {
+			idx := append([]int(nil), members...)
+			sort.SliceStable(idx, func(a, b int) bool {
+				va, vb := obj(mets[idx[a]]), obj(mets[idx[b]])
+				if va != vb {
+					return va < vb
+				}
+				return idx[a] < idx[b]
+			})
+			lo, hi := obj(mets[idx[0]]), obj(mets[idx[len(idx)-1]])
+			crowd[idx[0]] = math.Inf(1)
+			crowd[idx[len(idx)-1]] = math.Inf(1)
+			if span := hi - lo; span > 0 {
+				for k := 1; k < len(idx)-1; k++ {
+					gap := (obj(mets[idx[k+1]]) - obj(mets[idx[k-1]])) / span
+					crowd[idx[k]] += gap
+				}
+			}
+		}
+	}
+	return crowd
+}

@@ -22,6 +22,9 @@
 //   - Compaction rewrites a partition from its live index via an atomic
 //     write-then-rename snapshot; a crash mid-compaction leaves the old
 //     segment intact.
+//   - Retention (Options.MaxBytes) bounds long-lived shared caches: at open,
+//     whole segments are evicted least-recently-written first until the
+//     rest fits the budget. Evicted corners recompute on demand.
 //
 // The store implements engine.Store and is wired in as the middle tier of
 // the engine's memory → disk → backend lookup path (see exp.Context and the
@@ -36,6 +39,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"optima/internal/engine"
@@ -60,6 +64,12 @@ type Options struct {
 	// Partitions sets the segment count for a newly created store
 	// (<= 0 = DefaultPartitions). An existing store keeps its own count.
 	Partitions int
+	// MaxBytes bounds the store's on-disk size: at open, whole segments are
+	// evicted least-recently-written first (by file modification time, which
+	// appends keep fresh) until the remaining segments fit the budget.
+	// Evicted results only cost recomputation — the retention policy for
+	// long-lived shared caches. <= 0 means unlimited.
+	MaxBytes int64
 }
 
 // manifest is the store's snapshot metadata, rewritten atomically on every
@@ -128,6 +138,10 @@ func Open(dir string, opts Options) (*Store, error) {
 			nparts = m.Partitions // layout is fixed at creation
 		}
 	}
+	if err := applyRetention(dir, nparts, opts.MaxBytes); err != nil {
+		releaseLock(lock)
+		return nil, err
+	}
 	s := &Store{dir: dir, fp: opts.Fingerprint, lock: lock, parts: make([]*partition, nparts)}
 	for i := range s.parts {
 		p, err := loadPartition(filepath.Join(dir, fmt.Sprintf("seg-%02d.jsonl", i)), opts.Fingerprint)
@@ -142,6 +156,52 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// applyRetention enforces Options.MaxBytes before the segments are loaded:
+// while the segment files exceed the budget, the segment with the oldest
+// modification time is deleted outright (its results recompute on demand;
+// correctness never depends on the store's contents). Ties break by file
+// name so eviction is deterministic. maxBytes <= 0 disables retention.
+func applyRetention(dir string, nparts int, maxBytes int64) error {
+	if maxBytes <= 0 {
+		return nil
+	}
+	type seg struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var segs []seg
+	var total int64
+	for i := 0; i < nparts; i++ {
+		path := filepath.Join(dir, fmt.Sprintf("seg-%02d.jsonl", i))
+		fi, err := os.Stat(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("store: retention: %w", err)
+		}
+		segs = append(segs, seg{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano()})
+		total += fi.Size()
+	}
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].mtime != segs[j].mtime {
+			return segs[i].mtime < segs[j].mtime
+		}
+		return segs[i].path < segs[j].path
+	})
+	for _, victim := range segs {
+		if total <= maxBytes {
+			break
+		}
+		if err := os.Remove(victim.path); err != nil {
+			return fmt.Errorf("store: retention: %w", err)
+		}
+		total -= victim.size
+	}
+	return nil
 }
 
 // loadPartition scans one segment into an index. The scan stops at the

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"optima/internal/device"
 	"optima/internal/engine"
@@ -498,5 +500,133 @@ func TestSingleWriterExclusion(t *testing.T) {
 	defer s2.Close()
 	if got := s2.Len(); got != 5 {
 		t.Fatalf("reopened store holds %d results, want 5", got)
+	}
+}
+
+// TestRetentionEvictsOldestSegments pins the MaxBytes policy: reopening
+// with a tiny budget removes whole segments least-recently-written first
+// (deterministic mtime order), keeps the freshest data, and never fails the
+// open — evicted corners only cost recomputation.
+func TestRetentionEvictsOldestSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 64)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Spread the segment mtimes so "oldest" is well-defined and newest-last
+	// is deterministic: seg-00 oldest … seg-15 newest.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != DefaultPartitions {
+		t.Fatalf("found %d segments, want %d", len(segs), DefaultPartitions)
+	}
+	sort.Strings(segs)
+	base := time.Now().Add(-time.Hour)
+	var total int64
+	sizes := make(map[string]int64)
+	for i, p := range segs {
+		when := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(p, when, when); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[p] = fi.Size()
+		total += fi.Size()
+	}
+
+	// Budget for roughly the newest quarter of the data.
+	budget := total / 4
+	s, err = Open(dir, Options{Fingerprint: "fp-a", MaxBytes: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// The surviving bytes fit the budget, and the survivors are exactly a
+	// suffix of the mtime order (oldest evicted first).
+	var kept int64
+	firstKept := -1
+	for i, p := range segs {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() > 0 {
+			if firstKept < 0 {
+				firstKept = i
+			}
+			if fi.Size() != sizes[p] {
+				t.Fatalf("surviving segment %s changed size", p)
+			}
+			kept += fi.Size()
+		} else if firstKept >= 0 {
+			t.Fatalf("segment %s evicted after an older survivor — not oldest-first", p)
+		}
+	}
+	if kept > budget {
+		t.Fatalf("surviving segments hold %d bytes, budget %d", kept, budget)
+	}
+	if firstKept < 0 {
+		t.Fatal("retention evicted everything despite a positive budget")
+	}
+	if firstKept == 0 {
+		t.Fatal("retention evicted nothing despite an over-budget store")
+	}
+
+	// Keys in surviving segments still serve; the store stays writable.
+	if s.Len() == 0 {
+		t.Fatal("no live results survived retention")
+	}
+	found := 0
+	for i := 0; i < 64; i++ {
+		if met, ok := s.Get(testKey(i)); ok {
+			if met != testMet(i) {
+				t.Fatalf("survivor %d corrupted by retention", i)
+			}
+			found++
+		}
+	}
+	if found != s.Len() {
+		t.Fatalf("index count %d disagrees with Get survivors %d", s.Len(), found)
+	}
+	if found >= 64 {
+		t.Fatal("eviction removed no results")
+	}
+	if err := s.Put(testKey(100), testMet(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(testKey(100)); !ok {
+		t.Fatal("store not writable after retention")
+	}
+}
+
+// TestRetentionDisabledByDefault: MaxBytes 0 must not evict.
+func TestRetentionDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 32)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 32 {
+		t.Fatalf("unbounded reopen holds %d results, want 32", got)
 	}
 }
