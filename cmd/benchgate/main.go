@@ -1,16 +1,26 @@
 // Command benchgate is the CI bench-regression gate: it compares a fresh
-// benchmark trajectory (BENCH_engine.json, written by the bench job) against
-// the previous run's artifact and fails when any benchmark recorded in both
-// slowed down by more than the allowed fraction.
+// benchmark trajectory (BENCH_engine.json, written by the bench job)
+// against a smoothed baseline — the per-benchmark MEDIAN of the last N
+// runs' artifacts — and fails when any benchmark recorded on both sides
+// slowed down by more than the allowed fraction in time (ns/op) or grew
+// its allocations (allocs/op) by more than the same fraction.
 //
 // Usage:
 //
-//	benchgate -old prev/BENCH_engine.json -new BENCH_engine.json [-max-slowdown 0.30]
+//	benchgate -old prev1.json,prev2.json,prev3.json -new BENCH_engine.json [-max-slowdown 0.30]
 //
-// A missing baseline file is not a failure (the first run of a branch has
-// nothing to compare against); a missing fresh file is. Benchmarks present
-// only on one side are reported but never gate — renames and additions must
-// not break CI.
+// -old takes a comma-separated list of baseline artifacts, newest first
+// (CI passes the last three runs). Gating against a median instead of the
+// single previous run keeps one noisy CI run — fast or slow — from
+// poisoning the trajectory: a lucky baseline no longer flags the next
+// honest run, and an unlucky one no longer hides a real regression.
+//
+// Baseline files that are missing are skipped; when none exist the gate
+// passes (the first run of a branch has nothing to compare against). A
+// missing fresh file is an error. Benchmarks present only on one side are
+// reported but never gate — renames and additions must not break CI.
+// Benchmarks whose baseline median is 0 (clock-resolution underflow for
+// ns/op, no allocation tracking for allocs/op) never gate on that metric.
 package main
 
 import (
@@ -18,13 +28,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 )
 
-// Bench mirrors one entry of BENCH_engine.json.
+// Bench mirrors one entry of BENCH_engine.json. AllocsPerOp is absent from
+// artifacts written before allocation gating existed; it decodes as 0,
+// which the gate treats as "not tracked".
 type Bench struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
 func load(path string) ([]Bench, error) {
@@ -45,72 +60,126 @@ type result struct {
 	regression bool
 }
 
-// gate compares the fresh benchmarks against the baseline. A benchmark
-// regresses when fresh > baseline·(1+maxSlowdown). Baselines at 0 ns/op
-// (clock-resolution underflow) never gate.
-func gate(baseline, fresh []Bench, maxSlowdown float64) []result {
-	base := make(map[string]Bench, len(baseline))
-	for _, b := range baseline {
-		base[b.Name] = b
+// median returns the median of vals (mean of the middle pair for even
+// counts). vals must be non-empty.
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// gate compares the fresh benchmarks against the per-benchmark median of
+// the baselines. A benchmark regresses when fresh ns/op exceeds
+// median·(1+maxSlowdown), or fresh allocs/op does the same against a
+// positive allocation median. Zero medians never gate their metric.
+func gate(baselines [][]Bench, fresh []Bench, maxSlowdown float64) []result {
+	baseNs := map[string][]float64{}
+	baseAllocs := map[string][]float64{}
+	for _, baseline := range baselines {
+		for _, b := range baseline {
+			baseNs[b.Name] = append(baseNs[b.Name], b.NsPerOp)
+			baseAllocs[b.Name] = append(baseAllocs[b.Name], b.AllocsPerOp)
+		}
 	}
 	var out []result
 	seen := map[string]bool{}
 	for _, f := range fresh {
 		seen[f.Name] = true
-		b, ok := base[f.Name]
+		ns, ok := baseNs[f.Name]
 		if !ok {
 			out = append(out, result{line: fmt.Sprintf("NEW   %-60s %14.0f ns/op", f.Name, f.NsPerOp)})
 			continue
 		}
-		if b.NsPerOp <= 0 {
-			out = append(out, result{line: fmt.Sprintf("SKIP  %-60s baseline 0 ns/op", f.Name)})
-			continue
+		medNs := median(ns)
+		medAllocs := median(baseAllocs[f.Name])
+
+		var reasons []string
+		if medNs > 0 && f.NsPerOp/medNs > 1+maxSlowdown {
+			reasons = append(reasons, fmt.Sprintf("time %+.1f%%", 100*(f.NsPerOp/medNs-1)))
 		}
-		ratio := f.NsPerOp / b.NsPerOp
-		verdict := "OK   "
-		reg := ratio > 1+maxSlowdown
-		if reg {
-			verdict = "SLOW "
+		if medAllocs > 0 && f.AllocsPerOp/medAllocs > 1+maxSlowdown {
+			reasons = append(reasons, fmt.Sprintf("allocs %.0f -> %.0f/op (%+.1f%%)",
+				medAllocs, f.AllocsPerOp, 100*(f.AllocsPerOp/medAllocs-1)))
 		}
-		out = append(out, result{
-			line: fmt.Sprintf("%s %-60s %14.0f -> %14.0f ns/op (%+.1f%%)",
-				verdict, f.Name, b.NsPerOp, f.NsPerOp, 100*(ratio-1)),
-			regression: reg,
-		})
+		switch {
+		case medNs <= 0 && medAllocs <= 0:
+			out = append(out, result{line: fmt.Sprintf("SKIP  %-60s baseline medians 0", f.Name)})
+		case len(reasons) > 0:
+			out = append(out, result{
+				line: fmt.Sprintf("SLOW  %-60s %14.0f -> %14.0f ns/op (median of %d): %s",
+					f.Name, medNs, f.NsPerOp, len(ns), strings.Join(reasons, ", ")),
+				regression: true,
+			})
+		default:
+			out = append(out, result{line: fmt.Sprintf("OK    %-60s %14.0f -> %14.0f ns/op (median of %d, %+.1f%%)",
+				f.Name, medNs, f.NsPerOp, len(ns), pctDelta(f.NsPerOp, medNs))})
+		}
 	}
-	for _, b := range baseline {
-		if !seen[b.Name] {
-			out = append(out, result{line: fmt.Sprintf("GONE  %-60s (was %14.0f ns/op)", b.Name, b.NsPerOp)})
+	// Report names seen in any baseline but absent from the fresh run, in a
+	// deterministic order.
+	var gone []string
+	for name := range baseNs {
+		if !seen[name] {
+			gone = append(gone, name)
 		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		out = append(out, result{line: fmt.Sprintf("GONE  %-60s (was %14.0f ns/op)", name, median(baseNs[name]))})
 	}
 	return out
 }
 
+// pctDelta guards the OK line's percentage against a 0 ns/op median.
+func pctDelta(fresh, med float64) float64 {
+	if med <= 0 {
+		return 0
+	}
+	return 100 * (fresh/med - 1)
+}
+
 func main() {
-	oldPath := flag.String("old", "", "baseline trajectory JSON (previous run's artifact)")
+	oldPaths := flag.String("old", "", "comma-separated baseline trajectory JSONs (previous runs' artifacts, newest first)")
 	newPath := flag.String("new", "", "fresh trajectory JSON")
-	maxSlowdown := flag.Float64("max-slowdown", 0.30, "allowed fractional slowdown per benchmark")
+	maxSlowdown := flag.Float64("max-slowdown", 0.30, "allowed fractional slowdown per benchmark (time and allocations)")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
+	if *oldPaths == "" || *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old and -new are required")
 		os.Exit(2)
 	}
-	baseline, err := load(*oldPath)
-	if os.IsNotExist(err) {
-		fmt.Printf("benchgate: no baseline at %s; nothing to gate\n", *oldPath)
-		return
+	var baselines [][]Bench
+	for _, path := range strings.Split(*oldPaths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		baseline, err := load(path)
+		if os.IsNotExist(err) {
+			fmt.Printf("benchgate: no baseline at %s (skipped)\n", path)
+			continue
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		baselines = append(baselines, baseline)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+	if len(baselines) == 0 {
+		fmt.Println("benchgate: no baselines found; nothing to gate")
+		return
 	}
 	fresh, err := load(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
+	fmt.Printf("benchgate: gating against the median of %d baseline artifact(s)\n", len(baselines))
 	regressions := 0
-	for _, r := range gate(baseline, fresh, *maxSlowdown) {
+	for _, r := range gate(baselines, fresh, *maxSlowdown) {
 		fmt.Println(r.line)
 		if r.regression {
 			regressions++

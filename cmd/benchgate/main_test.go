@@ -17,14 +17,16 @@ func names(results []result, wantRegression bool) []string {
 	return out
 }
 
+func single(benches ...Bench) [][]Bench { return [][]Bench{benches} }
+
 func TestGateFlagsOnlyRealRegressions(t *testing.T) {
-	baseline := []Bench{
-		{Name: "BenchmarkEngineSweep/cold", NsPerOp: 1000},
-		{Name: "BenchmarkEngineSweep/cached", NsPerOp: 100},
-		{Name: "BenchmarkSearchAdaptive/cold", NsPerOp: 5000},
-		{Name: "BenchmarkRemoved", NsPerOp: 10},
-		{Name: "BenchmarkZeroBase", NsPerOp: 0},
-	}
+	baseline := single(
+		Bench{Name: "BenchmarkEngineSweep/cold", NsPerOp: 1000},
+		Bench{Name: "BenchmarkEngineSweep/cached", NsPerOp: 100},
+		Bench{Name: "BenchmarkSearchAdaptive/cold", NsPerOp: 5000},
+		Bench{Name: "BenchmarkRemoved", NsPerOp: 10},
+		Bench{Name: "BenchmarkZeroBase", NsPerOp: 0},
+	)
 	fresh := []Bench{
 		{Name: "BenchmarkEngineSweep/cold", NsPerOp: 1290},   // +29%: within budget
 		{Name: "BenchmarkEngineSweep/cached", NsPerOp: 131},  // +31%: regression
@@ -49,16 +51,71 @@ func TestGateFlagsOnlyRealRegressions(t *testing.T) {
 }
 
 func TestGateExactBoundaryPasses(t *testing.T) {
-	baseline := []Bench{{Name: "B", NsPerOp: 1000}}
+	baseline := single(Bench{Name: "B", NsPerOp: 1000})
 	fresh := []Bench{{Name: "B", NsPerOp: 1300}} // exactly +30%
 	if regs := names(gate(baseline, fresh, 0.30), true); len(regs) != 0 {
 		t.Fatalf("+30%% exactly should pass, got %v", regs)
 	}
 }
 
+// TestGateMedianAbsorbsNoisyBaseline is the smoothing the multi-run
+// baseline exists for: one outlier artifact — lucky or unlucky — must not
+// move the gate, because the median of three runs ignores it.
+func TestGateMedianAbsorbsNoisyBaseline(t *testing.T) {
+	baselines := [][]Bench{
+		{{Name: "B", NsPerOp: 400}}, // lucky outlier run
+		{{Name: "B", NsPerOp: 1000}},
+		{{Name: "B", NsPerOp: 1010}},
+	}
+	// +20% against the median (1000): fine, even though it is +150% against
+	// the lucky run the single-baseline gate would have compared with.
+	fresh := []Bench{{Name: "B", NsPerOp: 1200}}
+	if regs := names(gate(baselines, fresh, 0.30), true); len(regs) != 0 {
+		t.Fatalf("median gate flagged a +20%% run because of a lucky outlier: %v", regs)
+	}
+	// The converse: an unlucky slow outlier must not mask a real regression.
+	baselines = [][]Bench{
+		{{Name: "B", NsPerOp: 5000}}, // unlucky outlier run
+		{{Name: "B", NsPerOp: 1000}},
+		{{Name: "B", NsPerOp: 990}},
+	}
+	fresh = []Bench{{Name: "B", NsPerOp: 1400}} // +40% vs median
+	if regs := names(gate(baselines, fresh, 0.30), true); len(regs) != 1 {
+		t.Fatalf("median gate missed a +40%% regression hidden by a slow outlier: %v",
+			names(gate(baselines, fresh, 0.30), false))
+	}
+}
+
+// TestGateAllocations pins the allocs/op gate: allocation growth beyond the
+// budget regresses even at flat ns/op, a 0 allocation baseline (old
+// artifacts without the field, or allocation-free benchmarks) never gates,
+// and within-budget growth passes.
+func TestGateAllocations(t *testing.T) {
+	baselines := [][]Bench{
+		{{Name: "B", NsPerOp: 1000, AllocsPerOp: 100}, {Name: "NoAllocs", NsPerOp: 500}},
+		{{Name: "B", NsPerOp: 1000, AllocsPerOp: 102}, {Name: "NoAllocs", NsPerOp: 500}},
+		{{Name: "B", NsPerOp: 1000, AllocsPerOp: 98}, {Name: "NoAllocs", NsPerOp: 500}},
+	}
+	// Flat time, +40% allocations: regression naming the allocation metric.
+	fresh := []Bench{
+		{Name: "B", NsPerOp: 1000, AllocsPerOp: 140},
+		{Name: "NoAllocs", NsPerOp: 510, AllocsPerOp: 25}, // baseline never tracked allocs: skip that metric
+	}
+	results := gate(baselines, fresh, 0.30)
+	regs := names(results, true)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs") || !strings.Contains(regs[0], "B") {
+		t.Fatalf("alloc regression not flagged: %v", regs)
+	}
+	// Within budget passes.
+	fresh[0].AllocsPerOp = 120
+	if regs := names(gate(baselines, fresh, 0.30), true); len(regs) != 0 {
+		t.Fatalf("+20%% allocations should pass, got %v", regs)
+	}
+}
+
 func TestLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
-	blob := `[{"name": "BenchmarkX", "iterations": 2, "ns_per_op": 123.5}]`
+	blob := `[{"name": "BenchmarkX", "iterations": 2, "ns_per_op": 123.5, "allocs_per_op": 7}]`
 	if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -66,10 +123,35 @@ func TestLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || got[0].Name != "BenchmarkX" || got[0].NsPerOp != 123.5 || got[0].Iterations != 2 {
+	if len(got) != 1 || got[0].Name != "BenchmarkX" || got[0].NsPerOp != 123.5 ||
+		got[0].Iterations != 2 || got[0].AllocsPerOp != 7 {
 		t.Fatalf("loaded %+v", got)
+	}
+	// Artifacts written before allocation gating decode with 0 allocs/op.
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`[{"name": "BenchmarkY", "iterations": 1, "ns_per_op": 9}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old, err := load(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old[0].AllocsPerOp != 0 {
+		t.Fatalf("legacy artifact allocs = %v, want 0", old[0].AllocsPerOp)
 	}
 	if _, err := load(filepath.Join(t.TempDir(), "missing.json")); !os.IsNotExist(err) {
 		t.Fatalf("missing file: %v, want IsNotExist", err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v, want 2", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v, want 2.5", got)
+	}
+	if got := median([]float64{7}); got != 7 {
+		t.Fatalf("single median = %v, want 7", got)
 	}
 }

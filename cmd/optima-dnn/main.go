@@ -44,15 +44,17 @@ func main() {
 		"persist evaluation results in this directory (shared across runs; keyed by the calibration fingerprint)")
 	cacheMax := flag.Int64("cache-max-bytes", 0,
 		"evict least-recently-written cache segments beyond this size when the store opens (0 = unlimited)")
+	cacheAge := flag.Duration("cache-max-age", 0,
+		"evict cache segments older than this when the store opens (e.g. 720h; 0 = unlimited)")
 	flag.Parse()
 
-	if err := run(*outDir, *bench, *noisy, *modelPath, *workers, *backend, *cacheDir, *cacheMax); err != nil {
+	if err := run(*outDir, *bench, *noisy, *modelPath, *workers, *backend, *cacheDir, *cacheMax, *cacheAge); err != nil {
 		fmt.Fprintln(os.Stderr, "optima-dnn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, bench, noisy bool, modelPath string, workers int, backend, cacheDir string, cacheMax int64) error {
+func run(outDir string, bench, noisy bool, modelPath string, workers int, backend, cacheDir string, cacheMax int64, cacheAge time.Duration) error {
 	if err := engine.ValidateBackendName(backend); err != nil {
 		return err
 	}
@@ -77,6 +79,7 @@ func run(outDir string, bench, noisy bool, modelPath string, workers int, backen
 	ctx.Backend = backend
 	ctx.CacheDir = cacheDir
 	ctx.CacheMaxBytes = cacheMax
+	ctx.CacheMaxAge = cacheAge
 	defer ctx.Close()
 
 	sel, err := ctx.Selection()

@@ -6,13 +6,13 @@
 //
 //	optima calibrate [-quick] [-model out.json]
 //	optima figures   [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B] [-cache-dir dir]
-//	optima dse       [-out dir] [-model in.json] [-workers N] [-backend B] [-cache-dir dir]
-//	optima search    [-out dir] [-model in.json] [-workers N] [-cache-dir dir]
+//	optima dse       [-out dir] [-model in.json] [-workers N] [-backend B] [-conditions set] [-cache-dir dir]
+//	optima search    [-out dir] [-model in.json] [-workers N] [-conditions set] [-cache-dir dir]
 //	                 [-tau0 spec] [-vdac0 spec] [-vdacfs spec] [-budget N]
 //	                 [-rungs R] [-eta F] [-finalists N] [-refine] [-promote] [-seed S]
 //	optima pvt       [-out dir] [-tau0 ns] [-vdac0 V] [-vdacfs V] [-corners] [-workers N] [-backend B] [-cache-dir dir]
 //	optima speedup   [-model in.json] [-mc N]
-//	optima all       [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B] [-cache-dir dir]
+//	optima all       [-out dir] [-model in.json] [-mc N] [-workers N] [-backend B] [-conditions set] [-cache-dir dir]
 //
 // search explores design spaces far larger than the paper's 48 corners with
 // the adaptive multi-fidelity driver (internal/search): every rung screens
@@ -22,6 +22,18 @@
 // axis spec is either "min:max:steps" / "min:max:steps:log" (τ0 in ns,
 // voltages in V) or an explicit comma list like "0.16,0.20,0.24". With
 // -cache-dir, refinement sweeps across sessions re-evaluate nothing.
+//
+// -conditions moves dse and search onto the cross-condition evaluation
+// plane. The spec is a comma-separated list of CORNER@<vdd>V@<temp>C
+// entries, e.g. TT@1.0V@27C,SS@0.90V@60C,FF@1.10V@0C. With two or more
+// conditions, dse appends a robust ranking (worst-case ϵ_mul/E_mul per
+// corner with the arg-worst condition, plus a nominal-vs-robust winner
+// comparison), and search runs in robust mode: every rung screens its
+// candidates at every condition as one engine matrix batch, survivors are
+// kept by Pareto rank on the worst case over the set, and finalists are
+// promoted to golden at every condition. Results stay byte-identical at
+// any -workers, and each (config, condition) cell keeps its own cache key,
+// so a second run against the same -cache-dir evaluates nothing.
 //
 // -workers bounds the evaluation engine's TOTAL worker budget (0 = all
 // CPUs): the engine splits it between job-level fan-out and intra-job
@@ -39,6 +51,8 @@
 // across runs — a different calibration changes the fingerprint and starts
 // a fresh result set. -cache-max-bytes bounds the store's size: segments
 // over the budget are evicted least-recently-written first at open.
+// -cache-max-age bounds its staleness the same way: segments older than
+// the bound (e.g. 720h) are evicted at open.
 //
 // Every artifact is written as .txt/.csv (tables) and .svg (charts) into
 // the output directory (default ./out).
@@ -107,25 +121,76 @@ commands:
   all         everything above into one output directory`)
 }
 
-// engineFlags registers the evaluation-engine flags shared by the
-// sweep-running subcommands.
-func engineFlags(fs *flag.FlagSet) (workers *int, backend, cacheDir *string, cacheMax *int64) {
-	workers = fs.Int("workers", 0, "total evaluation worker budget, split between job-level and intra-job parallelism (0 = all CPUs)")
-	backend = fs.String("backend", engine.BackendBehavioral,
-		"evaluation backend: behavioral (fast models) or golden (transient simulation; orders of magnitude slower)")
-	cacheDir = fs.String("cache-dir", "",
+// engineOpts carries the evaluation-engine flags shared by the
+// sweep-running subcommands. The zero value means defaults everywhere
+// (behavioral backend, all CPUs, no persistent store, nominal condition).
+type engineOpts struct {
+	workers    *int
+	backend    *string
+	cacheDir   *string
+	cacheMax   *int64
+	cacheAge   *time.Duration
+	conditions *string
+}
+
+// engineFlags registers the shared evaluation-engine flags. -conditions is
+// NOT registered here: only the subcommands that consume the condition set
+// (dse, all, search) add it via conditionsFlag, so the flag can never be a
+// silent no-op on figures/pvt.
+func engineFlags(fs *flag.FlagSet) engineOpts {
+	eo := engineOpts{
+		workers: fs.Int("workers", 0, "total evaluation worker budget, split between job-level and intra-job parallelism (0 = all CPUs)"),
+		backend: fs.String("backend", engine.BackendBehavioral,
+			"evaluation backend: behavioral (fast models) or golden (transient simulation; orders of magnitude slower)"),
+	}
+	eo.cacheFlags(fs)
+	return eo
+}
+
+// cacheFlags registers only the persistent-store flags (for subcommands
+// that fix the backend themselves, like search).
+func (eo *engineOpts) cacheFlags(fs *flag.FlagSet) {
+	eo.cacheDir = fs.String("cache-dir", "",
 		"persist evaluation results in this directory (shared across runs; keyed by the calibration fingerprint)")
-	cacheMax = fs.Int64("cache-max-bytes", 0,
+	eo.cacheMax = fs.Int64("cache-max-bytes", 0,
 		"evict least-recently-written cache segments beyond this size when the store opens (0 = unlimited)")
-	return workers, backend, cacheDir, cacheMax
+	eo.cacheAge = fs.Duration("cache-max-age", 0,
+		"evict cache segments older than this when the store opens (e.g. 720h; 0 = unlimited)")
+}
+
+// conditionsFlag registers the operating-condition-set flag.
+func (eo *engineOpts) conditionsFlag(fs *flag.FlagSet) {
+	eo.conditions = fs.String("conditions", "",
+		"operating condition set for cross-condition (robust) analyses: comma-separated CORNER@<vdd>V@<temp>C entries, e.g. TT@1.0V@27C,SS@0.90V@60C,FF@1.10V@0C (empty = nominal only)")
+}
+
+func (eo engineOpts) backendName() string {
+	if eo.backend == nil {
+		return engine.BackendBehavioral
+	}
+	return *eo.backend
+}
+
+// conditionSet parses the -conditions spec; empty means the empty set
+// (nominal only, via exp.Context.ConditionSet).
+func (eo engineOpts) conditionSet() (engine.ConditionSet, error) {
+	if eo.conditions == nil || *eo.conditions == "" {
+		return engine.ConditionSet{}, nil
+	}
+	return engine.ParseConditionSet(*eo.conditions)
 }
 
 // makeContext builds an experiment context, loading a model when given.
-// workers, backend, cacheDir and cacheMax configure the context's
-// evaluation engine. Callers should defer ctx.Close() so the persistent
-// store flushes.
-func makeContext(modelPath string, quick bool, workers int, backend, cacheDir string, cacheMax int64) (*exp.Context, error) {
-	if err := engine.ValidateBackendName(backend); err != nil {
+// The flag values configure the context's evaluation engine, persistent
+// store and condition set; flag errors surface before the expensive
+// calibration. Callers should defer ctx.Close() so the persistent store
+// flushes.
+func makeContext(modelPath string, quick bool, eo engineOpts) (*exp.Context, error) {
+	if err := engine.ValidateBackendName(eo.backendName()); err != nil {
+		return nil, err
+	}
+	conds, err := eo.conditionSet()
+	if err != nil {
 		return nil, err
 	}
 	calib := core.DefaultCalibration()
@@ -150,10 +215,20 @@ func makeContext(modelPath string, quick bool, workers int, backend, cacheDir st
 		}
 		fmt.Printf("calibrated in %v: %v\n", time.Since(start), ctx.Model.Report)
 	}
-	ctx.Workers = workers
-	ctx.Backend = backend
-	ctx.CacheDir = cacheDir
-	ctx.CacheMaxBytes = cacheMax
+	ctx.Backend = eo.backendName()
+	ctx.Conditions = conds
+	if eo.workers != nil {
+		ctx.Workers = *eo.workers
+	}
+	if eo.cacheDir != nil {
+		ctx.CacheDir = *eo.cacheDir
+	}
+	if eo.cacheMax != nil {
+		ctx.CacheMaxBytes = *eo.cacheMax
+	}
+	if eo.cacheAge != nil {
+		ctx.CacheMaxAge = *eo.cacheAge
+	}
 	return ctx, nil
 }
 
@@ -199,11 +274,11 @@ func runFigures(args []string) error {
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
 	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
-	workers, backend, cacheDir, cacheMax := engineFlags(fs)
+	eo := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir, *cacheMax)
+	ctx, err := makeContext(*modelPath, false, eo)
 	if err != nil {
 		return err
 	}
@@ -278,11 +353,12 @@ func runDSE(args []string) error {
 	fs := flag.NewFlagSet("dse", flag.ExitOnError)
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
-	workers, backend, cacheDir, cacheMax := engineFlags(fs)
+	eo := engineFlags(fs)
+	eo.conditionsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir, *cacheMax)
+	ctx, err := makeContext(*modelPath, false, eo)
 	if err != nil {
 		return err
 	}
@@ -346,6 +422,65 @@ func writeDSE(ctx *exp.Context, out *report.Output) error {
 			return err
 		}
 	}
+	return writeRobustDSE(ctx, out)
+}
+
+// writeRobustDSE reruns the grid across the session's condition set and
+// ranks corners by worst-case excursion — the cross-condition extension of
+// Table I (Fig. 8's point made quantitative: the nominal winner is not
+// always the robust winner). Skipped when no -conditions set was given; a
+// single-condition set is announced as skipped rather than silently
+// ignored (a worst case needs at least two conditions to differ from the
+// nominal ranking).
+func writeRobustDSE(ctx *exp.Context, out *report.Output) error {
+	conds := ctx.Conditions
+	if conds.Len() == 0 {
+		return nil
+	}
+	if conds.Len() == 1 {
+		fmt.Printf("robust ranking skipped: -conditions names a single condition (%s); give two or more to rank by worst-case excursion\n", conds)
+		return nil
+	}
+	start := time.Now()
+	rms, err := dse.RobustSweep(ctx.Engine(), dse.DefaultGrid(), conds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("robust sweep over %d conditions (%s) in %v\n", conds.Len(), conds, time.Since(start))
+
+	tbl := report.NewTable("Robust DSE — worst case over "+conds.String(),
+		"τ0 [ns]", "V_DAC,0 [V]", "V_DAC,FS [V]",
+		"worst ϵ_mul [LSB]", "worst cond", "worst E_mul [fJ]",
+		"mean ϵ [LSB]", "spread ϵ [LSB]", "worst FOM")
+	for _, r := range rms {
+		tbl.AddRow(r.Config.Tau0*1e9, r.Config.VDAC0, r.Config.VDACFS,
+			r.WorstEps, engine.FormatCondition(r.WorstEpsCond), r.WorstEMul*1e15,
+			r.MeanEps, r.SpreadEps, r.WorstFOM())
+	}
+	if err := out.WriteTable("dse_robust", tbl); err != nil {
+		return err
+	}
+
+	// Nominal-vs-robust winner comparison: the corner Eq. 9 picks at the
+	// nominal condition versus the one it picks on worst-case metrics.
+	sel, err := ctx.Selection()
+	if err != nil {
+		return err
+	}
+	robustBest := rms[0]
+	for _, r := range rms[1:] {
+		if r.WorstFOM() > robustBest.WorstFOM() {
+			robustBest = r
+		}
+	}
+	fmt.Printf("nominal fom winner:  %v (FOM %.3f)\n", sel.FOM.Config, sel.FOM.FOM())
+	fmt.Printf("robust fom winner:   %v (worst-case FOM %.3f, worst ϵ at %s)\n",
+		robustBest.Config, robustBest.WorstFOM(), engine.FormatCondition(robustBest.WorstEpsCond))
+	if robustBest.Config == sel.FOM.Config {
+		fmt.Println("the nominal winner is also the robust winner under this condition set")
+	} else {
+		fmt.Println("the nominal winner is NOT the robust winner — rank by worst-case PVT excursion before committing a corner")
+	}
 	return nil
 }
 
@@ -357,11 +492,11 @@ func runPVT(args []string) error {
 	vdac0 := fs.Float64("vdac0", 0.3, "DAC output for code 0 [V]")
 	vdacfs := fs.Float64("vdacfs", 1.0, "DAC full-scale output [V]")
 	corners := fs.Bool("corners", true, "run the golden process-corner check (slow)")
-	workers, backend, cacheDir, cacheMax := engineFlags(fs)
+	eo := engineFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir, *cacheMax)
+	ctx, err := makeContext(*modelPath, false, eo)
 	if err != nil {
 		return err
 	}
@@ -410,7 +545,7 @@ func runSpeedup(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, 0, engine.BackendBehavioral, "", 0)
+	ctx, err := makeContext(*modelPath, false, engineOpts{})
 	if err != nil {
 		return err
 	}
@@ -441,11 +576,12 @@ func runAll(args []string) error {
 	outDir := fs.String("out", "out", "artifact directory")
 	mc := fs.Int("mc", 1000, "Fig. 5d Monte-Carlo samples")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
-	workers, backend, cacheDir, cacheMax := engineFlags(fs)
+	eo := engineFlags(fs)
+	eo.conditionsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, *workers, *backend, *cacheDir, *cacheMax)
+	ctx, err := makeContext(*modelPath, false, eo)
 	if err != nil {
 		return err
 	}

@@ -59,11 +59,9 @@ func runSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	outDir := fs.String("out", "out", "artifact directory")
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
-	workers := fs.Int("workers", 0, "total evaluation worker budget (0 = all CPUs)")
-	cacheDir := fs.String("cache-dir", "",
-		"persist evaluation results in this directory (shared across runs and fidelities)")
-	cacheMax := fs.Int64("cache-max-bytes", 0,
-		"evict least-recently-written cache segments beyond this size when the store opens (0 = unlimited)")
+	eo := engineOpts{workers: fs.Int("workers", 0, "total evaluation worker budget (0 = all CPUs)")}
+	eo.cacheFlags(fs)
+	eo.conditionsFlag(fs)
 	tau0 := fs.String("tau0", "0.16:0.28:100", "τ0 axis [ns]: min:max:steps[:log] or comma list")
 	vdac0 := fs.String("vdac0", "0.3:0.5:3", "V_DAC,0 axis [V]: min:max:steps[:log] or comma list")
 	vdacfs := fs.String("vdacfs", "0.7:1.0:4", "V_DAC,FS axis [V]: min:max:steps[:log] or comma list")
@@ -90,7 +88,7 @@ func runSearch(args []string) error {
 		return err
 	}
 
-	ctx, err := makeContext(*modelPath, false, *workers, engine.BackendBehavioral, *cacheDir, *cacheMax)
+	ctx, err := makeContext(*modelPath, false, eo)
 	if err != nil {
 		return err
 	}
@@ -100,14 +98,15 @@ func runSearch(args []string) error {
 		return err
 	}
 	opts := search.Options{
-		Space:     space,
-		Screen:    screen,
-		Budget:    *budget,
-		Rungs:     *rungs,
-		Eta:       *eta,
-		Finalists: *finalists,
-		Refine:    *refine,
-		Seed:      *seed,
+		Space:      space,
+		Screen:     screen,
+		Conditions: ctx.Conditions,
+		Budget:     *budget,
+		Rungs:      *rungs,
+		Eta:        *eta,
+		Finalists:  *finalists,
+		Refine:     *refine,
+		Seed:       *seed,
 	}
 	if *promote {
 		if opts.Final, err = ctx.EngineFor(engine.BackendGolden); err != nil {
@@ -115,32 +114,52 @@ func runSearch(args []string) error {
 		}
 	}
 
+	robust := opts.Conditions.Len() > 1
 	start := time.Now()
 	res, err := search.Run(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("searched %d-corner space in %v\n", res.Trace.SpaceSize, time.Since(start))
+	if robust {
+		fmt.Printf("searched %d-corner space across %d conditions (%s) in %v\n",
+			res.Trace.SpaceSize, opts.Conditions.Len(), res.Trace.Conditions, time.Since(start))
+	} else {
+		fmt.Printf("searched %d-corner space in %v\n", res.Trace.SpaceSize, time.Since(start))
+	}
 
 	rungTbl := report.NewTable("Adaptive search rungs",
-		"rung", "fidelity", "candidates", "evaluated", "cache hits", "store hits", "promoted")
+		"rung", "fidelity", "candidates", "conds", "evaluated", "cache hits", "store hits", "promoted")
 	for _, r := range res.Trace.Rungs {
 		fid := r.Fidelity
 		if r.Final {
 			fid += " (final)"
 		}
-		rungTbl.AddRow(r.Rung, fid, r.Candidates, r.Evaluated, r.CacheHits, r.StoreHits, r.Promoted)
+		rungTbl.AddRow(r.Rung, fid, r.Candidates, r.Conditions, r.Evaluated, r.CacheHits, r.StoreHits, r.Promoted)
 	}
 	fmt.Print(rungTbl.String())
-	fmt.Printf("exhaustive golden sweep would evaluate %d corners; adaptive ran %d golden + %d behavioral evaluations (%.1f%% golden)\n",
-		res.Trace.SpaceSize, res.Trace.FinalEvaluations(), res.Trace.ScreenEvaluations(),
-		100*float64(res.Trace.FinalEvaluations())/float64(res.Trace.SpaceSize))
+	exhaustive := res.Trace.SpaceSize * opts.Conditions.Len()
+	if exhaustive == 0 {
+		exhaustive = res.Trace.SpaceSize
+	}
+	fmt.Printf("exhaustive golden sweep would evaluate %d corner-conditions; adaptive ran %d golden + %d behavioral evaluations (%.1f%% golden)\n",
+		exhaustive, res.Trace.FinalEvaluations(), res.Trace.ScreenEvaluations(),
+		100*float64(res.Trace.FinalEvaluations())/float64(exhaustive))
 
-	frontTbl := report.NewTable("Adaptive-search Pareto front (energy ↑, error ↓)",
-		"tau0 [ns]", "vdac0 [V]", "vdacfs [V]", "eps_mul [LSB]", "E_mul [fJ]", "FOM")
-	for _, m := range res.Front {
-		frontTbl.AddRow(m.Config.Tau0*1e9, m.Config.VDAC0, m.Config.VDACFS,
-			m.EpsMul, m.EMul*1e15, m.FOM())
+	var frontTbl *report.Table
+	if robust {
+		frontTbl = report.NewTable("Adaptive-search robust Pareto front (worst case over the condition set; energy ↑, error ↓)",
+			"tau0 [ns]", "vdac0 [V]", "vdacfs [V]", "worst eps_mul [LSB]", "worst E_mul [fJ]", "worst cond", "worst FOM")
+		for _, m := range res.Front {
+			frontTbl.AddRow(m.Config.Tau0*1e9, m.Config.VDAC0, m.Config.VDACFS,
+				m.EpsMul, m.EMul*1e15, engine.FormatCondition(m.Cond), m.FOM())
+		}
+	} else {
+		frontTbl = report.NewTable("Adaptive-search Pareto front (energy ↑, error ↓)",
+			"tau0 [ns]", "vdac0 [V]", "vdacfs [V]", "eps_mul [LSB]", "E_mul [fJ]", "FOM")
+		for _, m := range res.Front {
+			frontTbl.AddRow(m.Config.Tau0*1e9, m.Config.VDAC0, m.Config.VDACFS,
+				m.EpsMul, m.EMul*1e15, m.FOM())
+		}
 	}
 	fmt.Print(frontTbl.String())
 
@@ -162,14 +181,16 @@ func runSearch(args []string) error {
 	return nil
 }
 
-// writeSearchJSON persists the machine-readable report: the final front and
-// the per-rung evaluation trace.
+// writeSearchJSON persists the machine-readable report: the final front,
+// the per-rung evaluation trace, and — in robust mode — the finalists'
+// cross-condition summaries.
 func writeSearchJSON(path string, res *search.Result) error {
 	data, err := json.MarshalIndent(struct {
-		Front     []search.FrontPoint `json:"front"`
-		Finalists int                 `json:"finalists"`
-		Trace     search.Trace        `json:"trace"`
-	}{search.FrontPoints(res.Front), len(res.Finalists), res.Trace}, "", "  ")
+		Front     []search.FrontPoint  `json:"front"`
+		Finalists int                  `json:"finalists"`
+		Robust    []search.RobustPoint `json:"robust,omitempty"`
+		Trace     search.Trace         `json:"trace"`
+	}{search.FrontPoints(res.Front), len(res.Finalists), search.RobustPoints(res.Robust), res.Trace}, "", "  ")
 	if err != nil {
 		return err
 	}

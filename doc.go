@@ -9,12 +9,23 @@
 // internal/core and the 4-bit in-SRAM multiplier case study in internal/mult.
 // All corner/condition evaluations route through the concurrent memoizing
 // evaluation service in internal/engine, which the exploration layers
-// (internal/dse, internal/search, internal/exp) submit jobs to — singly or
-// via the batched submission path. The engine's cache is tiered: in-memory,
-// then the persistent content-addressed result store in internal/store (an
-// append-only segment log keyed on (backend, config, condition) plus a
-// calibration fingerprint; enabled with -cache-dir, bounded with
-// Options.MaxBytes retention), then the backend.
+// (internal/dse, internal/search, internal/exp) submit jobs to — singly,
+// via the batched submission path, or as a cross-condition matrix. The
+// engine's cache is tiered: in-memory, then the persistent
+// content-addressed result store in internal/store (an append-only segment
+// log keyed on (backend, config, condition) plus a calibration
+// fingerprint; enabled with -cache-dir, bounded with Options.MaxBytes /
+// MaxAge retention), then the backend.
+//
+// The operating condition is a first-class evaluation dimension: an
+// engine.ConditionSet (ordered, validated, canonical
+// "TT@1V@27C,SS@0.9V@60C" spec form — the CLIs' -conditions flag) spans
+// the cross-condition axis, and engine.EvaluateMatrix scores configs ×
+// conditions as one batch with every cell an independent cache key.
+// dse.RobustSweep reduces the matrix to per-config worst-case / mean /
+// spread summaries with arg-worst conditions (dse.RobustMetrics), and the
+// search's robust mode ranks survivors by worst-case PVT excursion instead
+// of nominal showing — the Fig. 8 insight made a search criterion.
 //
 // Two exploration layers sit on the engine. internal/dse is the paper's
 // exhaustive layer: the 48-corner grid, corner selection, Pareto fronts,
@@ -22,9 +33,11 @@
 // spaces orders of magnitude larger: a validated Space (per-axis ranges
 // with linear/log refinement, generalizing dse.Grid) is screened rung by
 // rung on the behavioral backend with successive halving — survivors kept
-// by (eps_mul, E_mul) Pareto rank and crowding distance — and only the
-// finalists are re-evaluated on the golden transient backend (the optima
-// search subcommand; see examples/adaptive-search).
+// by (eps_mul, E_mul) Pareto rank and crowding distance, worst-case over
+// the condition set in robust mode — and only the finalists are
+// re-evaluated on the golden transient backend, at every condition of the
+// set (the optima search subcommand; see examples/adaptive-search and
+// examples/pvt-robustness).
 // Concurrency is two-level under one total worker budget: jobs fan out
 // across the engine's pool, and the golden backend additionally fans each
 // corner's ~500 transients out across its granted intra-job share — with

@@ -1,6 +1,9 @@
-// PVT robustness: analyze one multiplier configuration across supply,
-// temperature and mismatch — the paper's Fig. 8 methodology applied to a
-// user-chosen design point.
+// PVT robustness on the cross-condition evaluation plane: score the paper's
+// 48-corner design space at every condition of a PVT set in one engine
+// matrix batch, rank corners by worst-case excursion, and compare the
+// nominal winner against the robust winner — the quantitative version of
+// the paper's Fig. 8 observation that the best nominal corner is not the
+// best corner under PVT excursion.
 package main
 
 import (
@@ -10,57 +13,99 @@ import (
 	"os"
 
 	"optima/internal/core"
-	"optima/internal/device"
 	"optima/internal/dse"
 	"optima/internal/engine"
-	"optima/internal/mult"
 	"optima/internal/report"
 	"optima/internal/stats"
 )
 
 func main() {
-	tau0 := flag.Float64("tau0", 0.16, "discharge time of the LSB bit line [ns]")
-	vdac0 := flag.Float64("vdac0", 0.3, "DAC output for code 0 [V]")
-	vdacfs := flag.Float64("vdacfs", 1.0, "DAC full-scale output [V]")
+	spec := flag.String("conditions", "TT@1V@27C,SS@0.9V@60C,FF@1.1V@0C",
+		"operating condition set: comma-separated CORNER@<vdd>V@<temp>C entries")
 	flag.Parse()
+
+	// One place parses and validates the condition spec; the first entry is
+	// treated as the nominal reference of the comparison.
+	conds, err := engine.ParseConditionSet(*spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if conds.Len() < 2 {
+		log.Fatal("need at least two conditions to compare nominal against worst case")
+	}
 
 	model, err := core.Calibrate(core.QuickCalibration())
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := mult.Config{Tau0: *tau0 * 1e-9, VDAC0: *vdac0, VDACFS: *vdacfs}
-	fmt.Printf("configuration: %v\n\n", cfg)
-
-	// Nominal metrics.
-	met, err := dse.Evaluate(model, cfg, device.Nominal())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("nominal: ϵ=%.2f LSB, E=%.1f fJ, σ@(15,15)=%.2f LSB (%.2f mV)\n\n",
-		met.EpsMul, met.EMul*1e15, met.SigmaMaxLSB, met.SigmaMaxVolt*1e3)
-
-	// Both condition sweeps share one evaluation engine.
 	eng := engine.New(engine.Behavioral{Model: model}, 0)
 
-	// Supply sweep (paper Fig. 8 right, top).
-	vddSweep, err := dse.SweepVDD(eng, cfg, stats.Linspace(0.90, 1.10, 9))
+	// The whole (48 corners × conditions) plane is one batched submission:
+	// the engine fans it out across workers and every cell keeps its own
+	// cache key, so overlapping analyses below are served from memory.
+	rms, err := dse.RobustSweep(eng, dse.DefaultGrid(), conds)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tbl := report.NewTable("Error vs supply", "VDD [V]", "ϵ_mul [LSB]", "E_mul [fJ]")
-	for i := range vddSweep.X {
-		tbl.AddRow(vddSweep.X[i], vddSweep.AvgError[i], vddSweep.AvgEnergy[i]*1e15)
+	fmt.Printf("evaluated %d corners × %d conditions (%s)\n\n", len(rms), conds.Len(), conds)
+
+	// Nominal ranking (condition 0) vs robust ranking (worst case over the
+	// set), both by the paper's Eq. 9 figure of merit.
+	nomBest, robBest := rms[0], rms[0]
+	for _, r := range rms[1:] {
+		if r.PerCond[0].FOM() > nomBest.PerCond[0].FOM() {
+			nomBest = r
+		}
+		if r.WorstFOM() > robBest.WorstFOM() {
+			robBest = r
+		}
+	}
+	fmt.Printf("nominal winner (%s): %v  FOM %.3f\n",
+		engine.FormatCondition(conds.At(0)), nomBest.Config, nomBest.PerCond[0].FOM())
+	fmt.Printf("robust winner (worst case): %v  worst-case FOM %.3f\n\n", robBest.Config, robBest.WorstFOM())
+
+	// Per-condition detail of both winners: where each one degrades.
+	tbl := report.NewTable("Nominal vs robust winner across the condition set",
+		"corner", "condition", "ϵ_mul [LSB]", "E_mul [fJ]", "FOM")
+	for _, w := range []struct {
+		name string
+		r    dse.RobustMetrics
+	}{{"nominal-pick", nomBest}, {"robust-pick", robBest}} {
+		for j, met := range w.r.PerCond {
+			tbl.AddRow(w.name, engine.FormatCondition(conds.At(j)), met.EpsMul, met.EMul*1e15, met.FOM())
+		}
 	}
 	if err := tbl.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
+	if nomBest.Config == robBest.Config {
+		fmt.Println("\nthe nominal winner survives its PVT excursions — robust and nominal rankings agree here")
+	} else {
+		fmt.Printf("\nthe nominal winner degrades to ϵ=%.2f LSB at %s; the robust pick holds ϵ=%.2f LSB — rank by worst case\n",
+			nomBest.WorstEps, engine.FormatCondition(nomBest.WorstEpsCond), robBest.WorstEps)
+	}
 
-	// Temperature sweep (paper Fig. 8 right, bottom).
-	tempSweep, err := dse.SweepTemp(eng, cfg, stats.Linspace(0, 60, 7))
+	// The classic Fig. 8 supply/temperature curves are now thin views over
+	// the same matrix plane (and share the engine cache with the sweep
+	// above at overlapping conditions).
+	vddSweep, err := dse.SweepVDD(eng, robBest.Config, stats.Linspace(0.90, 1.10, 9))
 	if err != nil {
 		log.Fatal(err)
 	}
-	tbl = report.NewTable("Error vs temperature", "T [°C]", "ϵ_mul [LSB]", "E_mul [fJ]")
+	tbl = report.NewTable("Robust pick: error vs supply", "VDD [V]", "ϵ_mul [LSB]", "E_mul [fJ]")
+	for i := range vddSweep.X {
+		tbl.AddRow(vddSweep.X[i], vddSweep.AvgError[i], vddSweep.AvgEnergy[i]*1e15)
+	}
+	fmt.Println()
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	tempSweep, err := dse.SweepTemp(eng, robBest.Config, stats.Linspace(0, 60, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl = report.NewTable("Robust pick: error vs temperature", "T [°C]", "ϵ_mul [LSB]", "E_mul [fJ]")
 	for i := range tempSweep.X {
 		tbl.AddRow(tempSweep.X[i], tempSweep.AvgError[i], tempSweep.AvgEnergy[i]*1e15)
 	}
@@ -69,34 +114,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Per-result profile (paper Fig. 8 left) as an ASCII chart.
-	prof, err := dse.ProfileByResult(model, cfg, device.Nominal())
-	if err != nil {
-		log.Fatal(err)
-	}
-	xs := make([]float64, len(prof.Expected))
-	for i, e := range prof.Expected {
-		xs[i] = float64(e)
-	}
-	var chart report.Chart
-	chart.Title = "Average error (o) and analog sigma (*) vs expected result"
-	chart.XLabel = "expected result [LSB]"
-	chart.YLabel = "LSB"
-	if err := chart.AddSeries("sigma", xs, prof.SigmaLSB); err != nil {
-		log.Fatal(err)
-	}
-	if err := chart.AddSeries("avg error", xs, prof.AvgError); err != nil {
-		log.Fatal(err)
-	}
+	// Worst-case spread profile: how asymmetric the degradation is across
+	// the set, per Pareto-front member of the robust ranking.
 	fmt.Println()
-	if err := chart.RenderASCII(os.Stdout, 70, 16); err != nil {
+	front := dse.RobustParetoFront(rms)
+	tbl = report.NewTable("Robust Pareto front (worst case; energy ↑)",
+		"τ0 [ns]", "V_DAC,0 [V]", "V_DAC,FS [V]", "worst ϵ [LSB]", "worst cond", "spread ϵ [LSB]", "worst E [fJ]")
+	for _, r := range front {
+		tbl.AddRow(r.Config.Tau0*1e9, r.Config.VDAC0, r.Config.VDACFS,
+			r.WorstEps, engine.FormatCondition(r.WorstEpsCond), r.SpreadEps, r.WorstEMul*1e15)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 
-	// Monte-Carlo cross-check of the analytic expectation.
-	mc, err := dse.MCValidation(model, cfg, device.Nominal(), 10, 7)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nMonte-Carlo ϵ̄ over 10 input-space passes: %.2f LSB (analytic: %.2f)\n", mc, met.EpsMul)
+	fmt.Printf("\nengine: %v\n", eng.Stats())
 }

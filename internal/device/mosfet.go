@@ -14,6 +14,7 @@ package device
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Physical constants.
@@ -52,6 +53,18 @@ func (c ProcessCorner) String() string {
 
 // Corners lists all modeled process corners, nominal first.
 func Corners() []ProcessCorner { return []ProcessCorner{CornerTT, CornerFF, CornerSS} }
+
+// ParseCorner is the inverse of ProcessCorner.String: it resolves a foundry-
+// style corner name (case-insensitively) to the modeled corner, erroring on
+// anything Corners does not list.
+func ParseCorner(name string) (ProcessCorner, error) {
+	for _, c := range Corners() {
+		if strings.EqualFold(name, c.String()) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("device: unknown process corner %q (want TT, FF or SS)", name)
+}
 
 // PVT captures one operating condition: process corner, supply voltage and
 // temperature. The zero value is not meaningful; use Nominal.

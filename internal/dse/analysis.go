@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"fmt"
 	"math"
 
 	"optima/internal/core"
@@ -79,34 +80,49 @@ type ConditionSweep struct {
 }
 
 // SweepVDD evaluates ϵ_mul over a supply range at nominal temperature
-// through the given engine (paper Fig. 8 right, top).
+// through the given engine (paper Fig. 8 right, top). It is a thin view
+// over the cross-condition matrix path: one batch spans the whole sweep.
 func SweepVDD(eng *engine.Engine, cfg mult.Config, vdds []float64) (ConditionSweep, error) {
-	jobs := make([]engine.Job, len(vdds))
+	conds := make([]device.PVT, len(vdds))
 	for i, vdd := range vdds {
-		jobs[i] = engine.Job{Config: cfg, Cond: device.PVT{Corner: device.CornerTT, VDD: vdd, TempC: device.NominalTempC}}
+		conds[i] = device.PVT{Corner: device.CornerTT, VDD: vdd, TempC: device.NominalTempC}
 	}
-	return conditionSweep(eng, cfg, vdds, jobs)
+	return conditionSweep(eng, cfg, "VDD", vdds, conds)
 }
 
 // SweepTemp evaluates ϵ_mul over a temperature range at nominal supply
-// through the given engine (paper Fig. 8 right, bottom).
+// through the given engine (paper Fig. 8 right, bottom), as a matrix view
+// like SweepVDD.
 func SweepTemp(eng *engine.Engine, cfg mult.Config, temps []float64) (ConditionSweep, error) {
-	jobs := make([]engine.Job, len(temps))
+	conds := make([]device.PVT, len(temps))
 	for i, tc := range temps {
-		jobs[i] = engine.Job{Config: cfg, Cond: device.PVT{Corner: device.CornerTT, VDD: device.NominalVDD, TempC: tc}}
+		conds[i] = device.PVT{Corner: device.CornerTT, VDD: device.NominalVDD, TempC: tc}
 	}
-	return conditionSweep(eng, cfg, temps, jobs)
+	return conditionSweep(eng, cfg, "temperature", temps, conds)
 }
 
-// conditionSweep submits the condition jobs as one engine batch and
-// collects the per-condition error/energy curves in sweep order.
-func conditionSweep(eng *engine.Engine, cfg mult.Config, xs []float64, jobs []engine.Job) (ConditionSweep, error) {
-	mets, err := eng.EvaluateBatch(jobs)
+// conditionSweep evaluates cfg across the conditions via the engine's
+// matrix path and collects the error/energy curves in sweep order. A
+// failing point is named: the error identifies the swept variable and the
+// exact value (the engine error additionally carries the full condition),
+// so a 9-point supply sweep never fails with a bare corner error. An
+// empty point list returns an empty sweep; a duplicated point is an error
+// (NewConditionSet rejects duplicates — a repeated excursion point is a
+// caller bug, not a curve).
+func conditionSweep(eng *engine.Engine, cfg mult.Config, what string, xs []float64, conds []device.PVT) (ConditionSweep, error) {
+	if len(conds) == 0 {
+		return ConditionSweep{Config: cfg}, nil
+	}
+	set, err := engine.NewConditionSet(conds...)
 	if err != nil {
-		return ConditionSweep{}, err
+		return ConditionSweep{}, fmt.Errorf("dse: %s sweep of %v: %w", what, cfg, err)
+	}
+	mat, err := eng.EvaluateMatrix([]mult.Config{cfg}, set)
+	if err != nil {
+		return ConditionSweep{}, fmt.Errorf("dse: %s sweep of %v failed (%s points %v): %w", what, cfg, what, xs, err)
 	}
 	out := ConditionSweep{Config: cfg}
-	for i, met := range mets {
+	for i, met := range mat.Row(0) {
 		out.X = append(out.X, xs[i])
 		out.AvgError = append(out.AvgError, met.EpsMul)
 		out.AvgEnergy = append(out.AvgEnergy, met.EMul)

@@ -1,8 +1,10 @@
 package dse
 
 import (
+	"fmt"
 	"math"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -397,5 +399,189 @@ func TestParetoFrontEdgeCases(t *testing.T) {
 	// Empty input: empty front, no panic.
 	if front := ParetoFront(nil); len(front) != 0 {
 		t.Fatalf("nil input produced front %v", front)
+	}
+}
+
+// condBackend synthesizes condition-dependent metrics: eps grows with the
+// configured per-corner excursion penalty, so robust reductions are
+// verifiable in closed form. failVDD, when non-zero, errors at that supply.
+type condBackend struct {
+	failVDD float64
+}
+
+func (c *condBackend) Name() string { return "cond-fake" }
+
+func (c *condBackend) Evaluate(cfg mult.Config, cond device.PVT) (engine.Metrics, error) {
+	if c.failVDD != 0 && cond.VDD == c.failVDD {
+		return engine.Metrics{}, fmt.Errorf("synthetic condition failure")
+	}
+	// Excursion severity: 0 at nominal, growing with |ΔVDD| and |ΔT|.
+	excursion := math.Abs(cond.VDD-device.NominalVDD)*10 + math.Abs(cond.TempC-device.NominalTempC)/30
+	return engine.Metrics{
+		Config: cfg,
+		Cond:   cond,
+		EpsMul: cfg.Tau0*1e9 + cfg.VDAC0*excursion,
+		EMul:   cfg.VDACFS*1e-15 + excursion*1e-16,
+	}, nil
+}
+
+func robustTestSet(t *testing.T) engine.ConditionSet {
+	t.Helper()
+	set, err := engine.ParseConditionSet("TT@1V@27C,SS@0.9V@60C,FF@1.1V@0C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestRobustSweepReductions checks the cross-condition summary against the
+// closed-form metrics of the synthetic backend: grid order, worst/mean/
+// spread values, and the arg-worst conditions.
+func TestRobustSweepReductions(t *testing.T) {
+	grid := Grid{
+		Tau0s:   []float64{0.16e-9, 0.24e-9},
+		VDAC0s:  []float64{0.3, 0.5},
+		VDACFSs: []float64{0.8, 1.0},
+	}
+	set := robustTestSet(t)
+	eng := engine.New(&condBackend{}, 4)
+	rms, err := RobustSweep(eng, grid, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := grid.Configs()
+	if len(rms) != len(cfgs) {
+		t.Fatalf("robust sweep returned %d summaries, want %d", len(rms), len(cfgs))
+	}
+	back := &condBackend{}
+	for i, r := range rms {
+		if r.Config != cfgs[i] {
+			t.Fatalf("summary %d is %v, want grid order %v", i, r.Config, cfgs[i])
+		}
+		if len(r.PerCond) != set.Len() {
+			t.Fatalf("summary %d has %d per-condition metrics, want %d", i, len(r.PerCond), set.Len())
+		}
+		var worst, minEps, sum float64
+		worstCond := set.At(0)
+		for j := 0; j < set.Len(); j++ {
+			met, _ := back.Evaluate(r.Config, set.At(j))
+			if r.PerCond[j] != met {
+				t.Fatalf("summary %d condition %d metrics differ from the backend", i, j)
+			}
+			if j == 0 || met.EpsMul > worst {
+				worst, worstCond = met.EpsMul, set.At(j)
+			}
+			if j == 0 || met.EpsMul < minEps {
+				minEps = met.EpsMul
+			}
+			sum += met.EpsMul
+		}
+		if r.WorstEps != worst || r.WorstEpsCond != worstCond {
+			t.Fatalf("summary %d worst eps %v at %v, want %v at %v",
+				i, r.WorstEps, r.WorstEpsCond, worst, worstCond)
+		}
+		if math.Abs(r.MeanEps-sum/float64(set.Len())) > 1e-15 {
+			t.Fatalf("summary %d mean eps %v, want %v", i, r.MeanEps, sum/float64(set.Len()))
+		}
+		if math.Abs(r.SpreadEps-(worst-minEps)) > 1e-15 {
+			t.Fatalf("summary %d spread %v, want %v", i, r.SpreadEps, worst-minEps)
+		}
+		// The synthetic backend's worst excursion is SS@0.9V@60C for eps
+		// (both VDD and temperature excursions add) — a sanity anchor that
+		// the arg-worst is a real condition of the set.
+		if set.Index(r.WorstEpsCond) < 0 || set.Index(r.WorstEMulCond) < 0 {
+			t.Fatalf("summary %d arg-worst conditions not members of the set", i)
+		}
+		// Score projects the worst case onto the Pareto plane.
+		s := r.Score()
+		if s.EpsMul != r.WorstEps || s.EMul != r.WorstEMul || s.Config != r.Config || s.Cond != r.WorstEpsCond {
+			t.Fatalf("summary %d Score() = %+v inconsistent", i, s)
+		}
+	}
+
+	// Worker invariance of the whole robust sweep.
+	again, err := RobustSweep(engine.New(&condBackend{}, 1), grid, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rms, again) {
+		t.Fatal("robust sweep differs between workers=4 and workers=1")
+	}
+}
+
+// TestConditionSweepErrorNamesFailingPoint pins the error-path fix: a
+// failing excursion point must be named — the swept variable, the sweep's
+// points, and (via the engine error) the exact failing condition.
+func TestConditionSweepErrorNamesFailingPoint(t *testing.T) {
+	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
+	eng := engine.New(&condBackend{failVDD: 0.95}, 2)
+	_, err := SweepVDD(eng, cfg, []float64{0.9, 0.95, 1.0})
+	if err == nil {
+		t.Fatal("failing supply point did not error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "VDD sweep") {
+		t.Fatalf("error does not name the swept variable: %v", err)
+	}
+	if !strings.Contains(msg, "0.95") {
+		t.Fatalf("error does not name the failing supply point: %v", err)
+	}
+
+	// Temperature sweeps at nominal supply avoid the failing VDD: no error.
+	if _, err := SweepTemp(eng, cfg, []float64{0, 27, 60}); err != nil {
+		t.Fatalf("temperature sweep at nominal supply failed: %v", err)
+	}
+	// An empty point list is an empty curve, not an error; a duplicated
+	// point is a named error.
+	empty, err := SweepVDD(eng, cfg, nil)
+	if err != nil || len(empty.X) != 0 {
+		t.Fatalf("empty sweep: %v, %d points", err, len(empty.X))
+	}
+	if _, err := SweepVDD(eng, cfg, []float64{1.0, 1.0}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicated sweep point: %v, want duplicate error", err)
+	}
+	// A failing temperature point is named too.
+	tEng := engine.New(&condBackend{failVDD: device.NominalVDD}, 2)
+	_, err = SweepTemp(tEng, cfg, []float64{0, 27, 60})
+	if err == nil {
+		t.Fatal("failing temperature sweep did not error")
+	}
+	if !strings.Contains(err.Error(), "temperature sweep") {
+		t.Fatalf("error does not name the swept variable: %v", err)
+	}
+}
+
+// TestRobustParetoFront: the worst-case front is non-dominated in
+// (WorstEps, WorstEMul) and sorted by worst-case energy.
+func TestRobustParetoFront(t *testing.T) {
+	mk := func(tau, eps, e float64) RobustMetrics {
+		return RobustMetrics{
+			Config:    mult.Config{Tau0: tau, VDAC0: 0.3, VDACFS: 1.0},
+			WorstEps:  eps,
+			WorstEMul: e,
+		}
+	}
+	rms := []RobustMetrics{
+		mk(1e-10, 1, 3),
+		mk(2e-10, 2, 2),
+		mk(3e-10, 3, 1),
+		mk(4e-10, 3, 3), // dominated
+	}
+	front := RobustParetoFront(rms)
+	if len(front) != 3 {
+		t.Fatalf("front has %d members, want 3", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].WorstEMul < front[i-1].WorstEMul {
+			t.Fatal("front not sorted by worst-case energy")
+		}
+	}
+	for _, f := range front {
+		if f.Config.Tau0 == 4e-10 {
+			t.Fatal("dominated summary kept on the front")
+		}
+	}
+	if got := RobustParetoFront(nil); len(got) != 0 {
+		t.Fatalf("nil input produced front %v", got)
 	}
 }

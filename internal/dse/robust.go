@@ -1,0 +1,131 @@
+package dse
+
+import (
+	"fmt"
+
+	"optima/internal/device"
+	"optima/internal/engine"
+	"optima/internal/mult"
+	"optima/internal/stats"
+)
+
+// RobustMetrics summarizes one configuration across an operating condition
+// set — the cross-condition view the paper's Fig. 8 motivates: the best
+// nominal corner is not the best corner under PVT excursion, so robust
+// ranking scores each config by its worst condition, not its nominal one.
+type RobustMetrics struct {
+	Config mult.Config
+	// Conds is the condition set the summary spans.
+	Conds engine.ConditionSet
+	// PerCond holds the per-condition metrics in set order.
+	PerCond []Metrics
+	// WorstEps is the largest ϵ_mul over the set; WorstEpsCond is the first
+	// condition (in set order) attaining it — the arg-worst excursion.
+	WorstEps     float64
+	WorstEpsCond device.PVT
+	// WorstEMul / WorstEMulCond are the same for E_mul.
+	WorstEMul     float64
+	WorstEMulCond device.PVT
+	// MeanEps / MeanEMul average the metric over the set.
+	MeanEps, MeanEMul float64
+	// SpreadEps / SpreadEMul are max − min over the set — how asymmetrically
+	// the config degrades across the excursions.
+	SpreadEps, SpreadEMul float64
+}
+
+// WorstFOM is Eq. 9 evaluated at the worst-case corner of each metric:
+// 1/(worst ϵ_mul · worst E_mul), the robust analogue of Metrics.FOM.
+func (r RobustMetrics) WorstFOM() float64 {
+	if r.WorstEps <= 0 || r.WorstEMul <= 0 {
+		return 0
+	}
+	return 1 / (r.WorstEps * r.WorstEMul * 1e15)
+}
+
+// Score projects the summary onto the (EpsMul, EMul) plane the selection and
+// Pareto machinery rank on: EpsMul and EMul carry the worst-case values and
+// Cond the arg-worst-ϵ condition. Only those fields (and Config) are
+// populated — the composite is a ranking view, not an evaluation result.
+func (r RobustMetrics) Score() Metrics {
+	return Metrics{
+		Config: r.Config,
+		Cond:   r.WorstEpsCond,
+		EpsMul: r.WorstEps,
+		EMul:   r.WorstEMul,
+	}
+}
+
+// RobustFromMatrix reduces an evaluated (config × condition) matrix to the
+// per-config cross-condition summaries, in matrix config order.
+func RobustFromMatrix(m *engine.Matrix) []RobustMetrics {
+	out := make([]RobustMetrics, len(m.Configs))
+	for i, cfg := range m.Configs {
+		row := m.Row(i)
+		r := RobustMetrics{
+			Config:  cfg,
+			Conds:   m.Conds,
+			PerCond: append([]Metrics(nil), row...),
+		}
+		var epsAcc, eAcc stats.Accumulator
+		minEps, minE := row[0].EpsMul, row[0].EMul
+		r.WorstEps, r.WorstEpsCond = row[0].EpsMul, m.Conds.At(0)
+		r.WorstEMul, r.WorstEMulCond = row[0].EMul, m.Conds.At(0)
+		for j, met := range row {
+			epsAcc.Add(met.EpsMul)
+			eAcc.Add(met.EMul)
+			if met.EpsMul > r.WorstEps {
+				r.WorstEps, r.WorstEpsCond = met.EpsMul, m.Conds.At(j)
+			}
+			if met.EMul > r.WorstEMul {
+				r.WorstEMul, r.WorstEMulCond = met.EMul, m.Conds.At(j)
+			}
+			if met.EpsMul < minEps {
+				minEps = met.EpsMul
+			}
+			if met.EMul < minE {
+				minE = met.EMul
+			}
+		}
+		r.MeanEps, r.MeanEMul = epsAcc.Mean(), eAcc.Mean()
+		r.SpreadEps, r.SpreadEMul = r.WorstEps-minEps, r.WorstEMul-minE
+		out[i] = r
+	}
+	return out
+}
+
+// RobustSweep evaluates every corner of the grid at every condition of the
+// set through the engine's matrix path — one batch spanning the whole
+// (config × condition) plane — and returns the per-config summaries in grid
+// order. It is the cross-condition generalization of SweepWith: the same
+// grid, the same cache keys, one extra axis.
+func RobustSweep(eng *engine.Engine, grid Grid, conds engine.ConditionSet) ([]RobustMetrics, error) {
+	cfgs := grid.Configs()
+	if len(cfgs) == 0 {
+		return nil, grid.Validate()
+	}
+	mat, err := eng.EvaluateMatrix(cfgs, conds)
+	if err != nil {
+		return nil, fmt.Errorf("dse: robust sweep: %w", err)
+	}
+	return RobustFromMatrix(mat), nil
+}
+
+// RobustParetoFront returns the summaries not dominated in
+// (WorstEps, WorstEMul), sorted by worst-case energy — ParetoFront applied
+// to the worst-case projections (Score), so there is exactly one dominance
+// implementation to maintain. Configs are assumed distinct (grid corners
+// are); duplicated configs would collapse onto one summary.
+func RobustParetoFront(rms []RobustMetrics) []RobustMetrics {
+	scores := make([]Metrics, len(rms))
+	byConfig := make(map[mult.Config]RobustMetrics, len(rms))
+	for i, r := range rms {
+		scores[i] = r.Score()
+		byConfig[r.Config] = r
+	}
+	front := ParetoFront(scores)
+	out := make([]RobustMetrics, len(front))
+	for i, m := range front {
+		out[i] = byConfig[m.Config]
+	}
+	return out
+}

@@ -35,6 +35,48 @@ func benchJobs() []engine.Job {
 	return engine.Jobs(dse.DefaultGrid().Configs(), device.Nominal())
 }
 
+// BenchmarkEvaluateMatrix tracks the cross-condition evaluation plane: the
+// paper's 48-corner grid at 1 vs 5 operating conditions, cold (every cell
+// runs the backend) vs warm (every cell is a memory-tier hit). The 5-
+// condition cold case is the Fig. 8 robust-sweep workload; warm is what a
+// robust search rung pays when it revisits the plane.
+func BenchmarkEvaluateMatrix(b *testing.B) {
+	model := benchModelFixture(b)
+	cfgs := dse.DefaultGrid().Configs()
+	conds5, err := engine.ParseConditionSet("TT@1V@27C,SS@0.9V@60C,FF@1.1V@0C,TT@0.95V@45C,TT@1.05V@10C")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		conds engine.ConditionSet
+	}{
+		{"conds=1", engine.NominalConditions()},
+		{"conds=5", conds5},
+	} {
+		b.Run(tc.name+"/cold", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(engine.Behavioral{Model: model}, runtime.NumCPU())
+				if _, err := eng.EvaluateMatrix(cfgs, tc.conds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"/warm", func(b *testing.B) {
+			eng := engine.New(engine.Behavioral{Model: model}, runtime.NumCPU())
+			if _, err := eng.EvaluateMatrix(cfgs, tc.conds); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.EvaluateMatrix(cfgs, tc.conds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineSweep tracks the two wins the engine exists for: worker
 // fan-out on a cold sweep (workers=1 vs workers=NumCPU) and the
 // content-addressed cache (cold vs cached re-sweep, the ≥5× acceptance

@@ -36,6 +36,19 @@
 // per-transient slots that reduce serially in input order — Metrics are
 // byte-identical at any budget, which is what makes the content-addressed
 // cache (and the persistent store) sound.
+//
+// # Condition plane
+//
+// The operating condition is a first-class evaluation dimension, not a
+// per-call scalar: a ConditionSet (named, ordered, duplicate-free, with a
+// canonical "TT@1V@27C,SS@0.9V@60C" spec form) spans the cross-condition
+// axis, and EvaluateMatrix(configs × conditions) submits the whole plane as
+// one batch, returning a Matrix indexed [config][condition]. The set never
+// changes keying — each (config, condition) cell remains an independent
+// cache/store key — so every cache tier serves partial overlaps between
+// matrices, sweeps and single evaluations unchanged. The exploration
+// layers' robust analyses (dse.RobustSweep, the search's robust mode) are
+// reductions over this plane.
 package engine
 
 import (
@@ -230,7 +243,7 @@ func (e *Engine) evalBackend(key Key, intra int) (Metrics, error) {
 func (e *Engine) runClaimed(ent *entry, key Key, intra int) {
 	defer func() {
 		if r := recover(); r != nil {
-			ent.err = fmt.Errorf("engine: %s backend panicked on corner %v: %v", key.Backend, key.Config, r)
+			ent.err = fmt.Errorf("engine: %s backend panicked on corner %v at %v: %v", key.Backend, key.Config, key.Cond, r)
 		}
 		close(ent.done)
 	}()
@@ -403,7 +416,9 @@ func (e *Engine) EvaluateBatch(jobs []Job) ([]Metrics, error) {
 	for i, ent := range ents {
 		<-ent.done
 		if ent.err != nil {
-			return nil, fmt.Errorf("engine: %s corner %v: %w", bname, jobs[i].Config, ent.err)
+			// The condition is part of the failure's identity: a PVT sweep
+			// fails at one excursion point, and the caller needs to know which.
+			return nil, fmt.Errorf("engine: %s corner %v at %v: %w", bname, jobs[i].Config, jobs[i].Cond, ent.err)
 		}
 		results[i] = ent.met
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"optima/internal/core"
 	"optima/internal/device"
@@ -47,6 +48,16 @@ type Context struct {
 	// over the budget are evicted least-recently-written first when the
 	// store opens (store.Options.MaxBytes). <= 0 means unlimited.
 	CacheMaxBytes int64
+	// CacheMaxAge bounds the persistent store's staleness: segments older
+	// than the bound are evicted when the store opens
+	// (store.Options.MaxAge). <= 0 means unlimited.
+	CacheMaxAge time.Duration
+	// Conditions is the session's operating condition set — the cross-
+	// condition evaluation plane the robust analyses (dse.RobustSweep, the
+	// search's robust mode) span. The zero value means nominal only; use
+	// ConditionSet to read it with that default applied. Parsed from the
+	// CLIs' -conditions flag by engine.ParseConditionSet.
+	Conditions engine.ConditionSet
 
 	engOnce      sync.Once
 	eng          *engine.Engine
@@ -105,7 +116,11 @@ func (c *Context) Engine() *engine.Engine {
 		}
 		c.eng = engine.New(backend, c.Workers)
 		if c.CacheDir != "" {
-			st, err := store.Open(c.CacheDir, store.Options{Fingerprint: c.Fingerprint(), MaxBytes: c.CacheMaxBytes})
+			st, err := store.Open(c.CacheDir, store.Options{
+				Fingerprint: c.Fingerprint(),
+				MaxBytes:    c.CacheMaxBytes,
+				MaxAge:      c.CacheMaxAge,
+			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "exp: persistent result store disabled: %v\n", err)
 				return
@@ -155,6 +170,15 @@ func (c *Context) EngineFor(name string) (*engine.Engine, error) {
 	}
 	c.extraEngines[name] = eng
 	return eng, nil
+}
+
+// ConditionSet returns the session's operating condition set, defaulting to
+// the single nominal condition when none was configured.
+func (c *Context) ConditionSet() engine.ConditionSet {
+	if c.Conditions.Len() == 0 {
+		return engine.NominalConditions()
+	}
+	return c.Conditions
 }
 
 // Store returns the session's persistent result store, or nil when CacheDir

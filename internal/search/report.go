@@ -1,6 +1,9 @@
 package search
 
-import "optima/internal/dse"
+import (
+	"optima/internal/dse"
+	"optima/internal/engine"
+)
 
 // FrontPoint is the machine-readable view of one Pareto-front member, in
 // the paper's reporting units (ns, V, LSB, fJ) — the JSON/CSV schema of the
@@ -16,6 +19,8 @@ type FrontPoint struct {
 }
 
 // FrontPoints converts front metrics into report points, preserving order.
+// In robust mode the metrics are worst-case composites, so EpsMul/EMulFJ
+// report the worst case over the condition set.
 func FrontPoints(front []dse.Metrics) []FrontPoint {
 	out := make([]FrontPoint, len(front))
 	for i, m := range front {
@@ -27,6 +32,42 @@ func FrontPoints(front []dse.Metrics) []FrontPoint {
 			EMulFJ:   m.EMul * 1e15,
 			FOM:      m.FOM(),
 			SigmaLSB: m.SigmaMaxLSB,
+		}
+	}
+	return out
+}
+
+// RobustPoint is the machine-readable view of one finalist's cross-
+// condition summary — the robust-mode extension of the search.json schema.
+type RobustPoint struct {
+	Tau0NS        float64 `json:"tau0_ns"`
+	VDAC0V        float64 `json:"vdac0_v"`
+	VDACFSV       float64 `json:"vdacfs_v"`
+	WorstEps      float64 `json:"worst_eps_mul_lsb"`
+	WorstEpsCond  string  `json:"worst_eps_cond"`
+	WorstEMulFJ   float64 `json:"worst_e_mul_fj"`
+	WorstEMulCond string  `json:"worst_e_mul_cond"`
+	MeanEps       float64 `json:"mean_eps_mul_lsb"`
+	SpreadEps     float64 `json:"spread_eps_mul_lsb"`
+	WorstFOM      float64 `json:"worst_fom"`
+}
+
+// RobustPoints converts cross-condition summaries into report points,
+// preserving order.
+func RobustPoints(rms []dse.RobustMetrics) []RobustPoint {
+	out := make([]RobustPoint, len(rms))
+	for i, r := range rms {
+		out[i] = RobustPoint{
+			Tau0NS:        r.Config.Tau0 * 1e9,
+			VDAC0V:        r.Config.VDAC0,
+			VDACFSV:       r.Config.VDACFS,
+			WorstEps:      r.WorstEps,
+			WorstEpsCond:  engine.FormatCondition(r.WorstEpsCond),
+			WorstEMulFJ:   r.WorstEMul * 1e15,
+			WorstEMulCond: engine.FormatCondition(r.WorstEMulCond),
+			MeanEps:       r.MeanEps,
+			SpreadEps:     r.SpreadEps,
+			WorstFOM:      r.WorstFOM(),
 		}
 	}
 	return out

@@ -17,8 +17,17 @@ type Options struct {
 	// Space is the explored design space.
 	Space Space
 	// Cond is the operating condition every corner is scored at; the zero
-	// value means device.Nominal().
+	// value means device.Nominal(). Ignored when Conditions is non-empty.
 	Cond device.PVT
+	// Conditions switches the search to the cross-condition evaluation
+	// plane: every rung screens its candidates at EVERY condition of the set
+	// (one engine matrix batch per rung) and, when the set has more than one
+	// condition, survivors are selected by Pareto rank on the worst-case
+	// (ϵ_mul, E_mul) over the set — the robust mode, ranking designs by
+	// their worst PVT excursion instead of their nominal showing. Finalists
+	// are promoted to the Final engine at every condition. Empty means the
+	// single condition Cond.
+	Conditions engine.ConditionSet
 	// Screen is the cheap-fidelity engine every rung's candidates are
 	// submitted to (behavioral in the CLI wiring).
 	Screen *engine.Engine
@@ -64,8 +73,13 @@ type RungStats struct {
 	Rung int
 	// Fidelity is the backend name the rung's engine evaluated on.
 	Fidelity string
-	// Candidates is the number of corners submitted this rung.
+	// Candidates is the number of corners submitted this rung. In robust
+	// mode each candidate is evaluated at every condition of the set, so the
+	// rung's job count is Candidates × Conditions.
 	Candidates int
+	// Conditions is the size of the condition set the rung evaluated across
+	// (1 for a nominal search).
+	Conditions int
 	// Evaluated counts candidates that ran the backend (engine cache
 	// misses attributed to this rung).
 	Evaluated uint64
@@ -84,8 +98,11 @@ type RungStats struct {
 // Trace is the per-rung evaluation record of a search run.
 type Trace struct {
 	// SpaceSize is the valid-corner count of the full space — what an
-	// exhaustive sweep would evaluate.
+	// exhaustive sweep would evaluate (per condition).
 	SpaceSize int
+	// Conditions is the canonical spec of the condition set the search
+	// evaluated across (engine.ConditionSet.String).
+	Conditions string
 	// Sampled is the rung-0 candidate count after the budget cap.
 	Sampled int
 	// Rungs holds the per-rung stats, screening rungs first, the
@@ -119,10 +136,18 @@ func (t Trace) FinalEvaluations() uint64 {
 type Result struct {
 	// Front is the Pareto front over the finalists in (EpsMul, EMul), at
 	// the highest fidelity evaluated, sorted by energy (dse.ParetoFront).
+	// In robust mode the entries are worst-case composites
+	// (dse.RobustMetrics.Score): EpsMul and EMul carry the worst-case
+	// values over the condition set and Cond the arg-worst-ϵ condition.
 	Front []dse.Metrics
 	// Finalists holds every promoted corner's metrics at the final
-	// fidelity, in deterministic candidate order (Front is a subset).
+	// fidelity, in deterministic candidate order (Front is a subset). In
+	// robust mode these are the worst-case composites.
 	Finalists []dse.Metrics
+	// Robust holds the finalists' full cross-condition summaries (per-
+	// condition metrics, arg-worst conditions, spreads) when the search ran
+	// in robust mode — same order as Finalists. Nil for a nominal search.
+	Robust []dse.RobustMetrics
 	// Trace is the per-rung accounting.
 	Trace Trace
 }
@@ -148,10 +173,19 @@ func Run(opts Options) (*Result, error) {
 	if math.IsNaN(eta) || math.IsInf(eta, 0) {
 		return nil, fmt.Errorf("search: non-finite halving ratio %v", eta)
 	}
-	cond := opts.Cond
-	if cond == (device.PVT{}) {
-		cond = device.Nominal()
+	conds := opts.Conditions
+	if conds.Len() == 0 {
+		cond := opts.Cond
+		if cond == (device.PVT{}) {
+			cond = device.Nominal()
+		}
+		var err error
+		if conds, err = engine.NewConditionSet(cond); err != nil {
+			return nil, fmt.Errorf("search: %w", err)
+		}
 	}
+	// Robust mode: more than one condition — rank by worst-case excursion.
+	robust := conds.Len() > 1
 
 	all, err := opts.Space.Configs()
 	if err != nil {
@@ -159,7 +193,7 @@ func Run(opts Options) (*Result, error) {
 	}
 	pool := sampleSubset(all, opts.Budget, opts.Seed)
 	n0 := len(pool)
-	trace := Trace{SpaceSize: len(all), Sampled: n0}
+	trace := Trace{SpaceSize: len(all), Conditions: conds.String(), Sampled: n0}
 
 	// seen tracks every corner that has entered any rung's pool, so
 	// refinement never proposes a duplicate.
@@ -174,8 +208,9 @@ func Run(opts Options) (*Result, error) {
 
 	var survivors []mult.Config
 	var survivorMets []dse.Metrics
+	var survivorRobust []dse.RobustMetrics
 	for r := 0; r < rungs; r++ {
-		mets, stats, err := evaluateRung(opts.Screen, pool, cond)
+		mets, rms, stats, err := evaluateRung(opts.Screen, pool, conds, robust)
 		if err != nil {
 			return nil, err
 		}
@@ -196,9 +231,15 @@ func Run(opts Options) (*Result, error) {
 		sort.Ints(pick) // survivors stay in pool (grid) order
 		survivors = make([]mult.Config, keep)
 		survivorMets = make([]dse.Metrics, keep)
+		if robust {
+			survivorRobust = make([]dse.RobustMetrics, keep)
+		}
 		for i, idx := range pick {
 			survivors[i] = pool[idx]
 			survivorMets[i] = mets[idx]
+			if robust {
+				survivorRobust[i] = rms[idx]
+			}
 		}
 
 		stats.Rung = r
@@ -221,7 +262,10 @@ func Run(opts Options) (*Result, error) {
 
 	res := &Result{Trace: trace}
 	if opts.Final != nil {
-		fmets, stats, err := evaluateRung(opts.Final, survivors, cond)
+		// Promote the finalists to the final fidelity at EVERY condition of
+		// the set, so the robust ranking at the high fidelity sees the same
+		// excursions the screen ranked on.
+		fmets, frobust, stats, err := evaluateRung(opts.Final, survivors, conds, robust)
 		if err != nil {
 			return nil, err
 		}
@@ -230,29 +274,45 @@ func Run(opts Options) (*Result, error) {
 		stats.Promoted = len(fmets)
 		res.Trace.Rungs = append(res.Trace.Rungs, stats)
 		res.Finalists = fmets
+		res.Robust = frobust
 	} else {
 		res.Finalists = survivorMets
+		res.Robust = survivorRobust
 	}
 	res.Front = dse.ParetoFront(res.Finalists)
 	return res, nil
 }
 
-// evaluateRung submits one rung's pool as a single engine batch and
-// attributes the engine's accounting delta to the rung.
-func evaluateRung(eng *engine.Engine, pool []mult.Config, cond device.PVT) ([]dse.Metrics, RungStats, error) {
+// evaluateRung submits one rung's pool × conditions as a single engine
+// matrix batch and attributes the engine's accounting delta to the rung.
+// The returned metrics are the rung's selection scores, in pool order: the
+// per-config metrics at the single condition of a nominal search, or the
+// worst-case composites (dse.RobustMetrics.Score) in robust mode — in which
+// case the full cross-condition summaries are returned alongside.
+func evaluateRung(eng *engine.Engine, pool []mult.Config, conds engine.ConditionSet, robust bool) ([]dse.Metrics, []dse.RobustMetrics, RungStats, error) {
 	pre := eng.Stats()
-	mets, err := eng.EvaluateBatch(engine.Jobs(pool, cond))
+	mat, err := eng.EvaluateMatrix(pool, conds)
 	if err != nil {
-		return nil, RungStats{}, fmt.Errorf("search: %w", err)
+		return nil, nil, RungStats{}, fmt.Errorf("search: %w", err)
 	}
 	d := eng.Stats().Sub(pre)
-	return mets, RungStats{
+	stats := RungStats{
 		Fidelity:   eng.Backend().Name(),
 		Candidates: len(pool),
+		Conditions: conds.Len(),
 		Evaluated:  d.Misses,
 		CacheHits:  d.Hits,
 		StoreHits:  d.DiskHits,
-	}, nil
+	}
+	if !robust {
+		return mat.Col(0), nil, stats, nil
+	}
+	rms := dse.RobustFromMatrix(mat)
+	scores := make([]dse.Metrics, len(rms))
+	for i, r := range rms {
+		scores[i] = r.Score()
+	}
+	return scores, rms, stats, nil
 }
 
 // paretoOrder returns the candidate indices ordered best-first: ascending

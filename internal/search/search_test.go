@@ -1,6 +1,7 @@
 package search_test
 
 import (
+	"math"
 	"path/filepath"
 	"reflect"
 	"sync"
@@ -435,5 +436,209 @@ func TestSearchFrontMatchesExhaustiveOnSmallSpace(t *testing.T) {
 	if !reflect.DeepEqual(res.Front, want) {
 		t.Fatalf("adaptive front (%d points) differs from exhaustive front (%d points)",
 			len(res.Front), len(want))
+	}
+}
+
+// pvtBackend synthesizes condition-dependent metrics engineered so the
+// nominal winner is NOT the robust winner: at the nominal condition ϵ_mul
+// shrinks with τ0 (the smallest τ0 wins), but the excursion penalty grows
+// as 1/τ0, so under a PVT excursion the small-τ0 corners collapse and a
+// larger τ0 wins the worst-case ranking. Energy is flat, which collapses
+// the Pareto front to the single minimum-ϵ corner — making "the winner"
+// well defined in both modes.
+type pvtBackend struct {
+	name  string
+	calls atomic.Int64
+}
+
+func (b *pvtBackend) Name() string { return b.name }
+
+func (b *pvtBackend) Evaluate(cfg mult.Config, cond device.PVT) (engine.Metrics, error) {
+	b.calls.Add(1)
+	tau := cfg.Tau0 * 1e9
+	severity := math.Abs(cond.VDD-device.NominalVDD)*10 + math.Abs(cond.TempC-device.NominalTempC)/33
+	return engine.Metrics{
+		Config: cfg,
+		Cond:   cond,
+		EpsMul: tau + severity/tau,
+		EMul:   50e-15,
+	}, nil
+}
+
+// robustSpace is a seeded one-axis space over τ0 (0.1–0.9 ns).
+func robustSpace() search.Space {
+	return search.Space{
+		Tau0:   search.LinAxis("tau0", 0.1e-9, 0.9e-9, 9),
+		VDAC0:  search.ValuesAxis("vdac0", 0.3),
+		VDACFS: search.ValuesAxis("vdacfs", 1.0),
+	}
+}
+
+func robustConditions(t testing.TB) engine.ConditionSet {
+	t.Helper()
+	conds, err := engine.ParseConditionSet("TT@1V@27C,SS@0.9V@60C,FF@1.1V@0C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return conds
+}
+
+// TestRobustSearchAcceptance is the issue's robust-mode acceptance test: on
+// a seeded space, the nominal search and the robust search crown different
+// winners; the robust result is byte-identical at any worker count; and a
+// repeat robust run against a shared store performs zero backend
+// evaluations.
+func TestRobustSearchAcceptance(t *testing.T) {
+	sp := robustSpace()
+	conds := robustConditions(t)
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	run := func(workers int, robust bool) (*search.Result, int64, int64) {
+		st, err := store.Open(dir, store.Options{Fingerprint: "robust-acceptance"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		screenBack := &pvtBackend{name: "screen"}
+		finalBack := &pvtBackend{name: "golden"}
+		opts := search.Options{
+			Space:  sp,
+			Screen: engine.New(screenBack, workers).WithStore(st),
+			Final:  engine.New(finalBack, workers).WithStore(st),
+			Rungs:  2,
+			Eta:    2,
+			Seed:   1,
+		}
+		if robust {
+			opts.Conditions = conds
+		}
+		res, err := search.Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, screenBack.calls.Load(), finalBack.calls.Load()
+	}
+
+	nominal, _, _ := run(8, false)
+	robust, _, _ := run(8, true)
+
+	if len(nominal.Front) != 1 || len(robust.Front) != 1 {
+		t.Fatalf("fronts not singular: nominal %d, robust %d (flat energy must collapse the front)",
+			len(nominal.Front), len(robust.Front))
+	}
+	nomWin, robWin := nominal.Front[0].Config, robust.Front[0].Config
+	if nomWin == robWin {
+		t.Fatalf("nominal winner %v equals robust winner — the seeded space must separate them", nomWin)
+	}
+	if nomWin.Tau0 >= robWin.Tau0 {
+		t.Fatalf("nominal winner τ0 %g should be smaller than robust winner τ0 %g", nomWin.Tau0, robWin.Tau0)
+	}
+
+	// The robust front entry is a worst-case composite: its condition is the
+	// arg-worst excursion (not nominal) and its ϵ is the worst case.
+	if robust.Front[0].Cond == device.Nominal() {
+		t.Fatal("robust front entry carries the nominal condition, want the arg-worst excursion")
+	}
+	if robust.Robust == nil || len(robust.Robust) != len(robust.Finalists) {
+		t.Fatalf("robust summaries missing: %d for %d finalists", len(robust.Robust), len(robust.Finalists))
+	}
+	for i, r := range robust.Robust {
+		if len(r.PerCond) != conds.Len() {
+			t.Fatalf("finalist %d has %d per-condition metrics, want %d", i, len(r.PerCond), conds.Len())
+		}
+		if r.Config != robust.Finalists[i].Config {
+			t.Fatalf("finalist %d summary out of order", i)
+		}
+		if robust.Finalists[i].EpsMul != r.WorstEps {
+			t.Fatalf("finalist %d composite ϵ %g != worst case %g", i, robust.Finalists[i].EpsMul, r.WorstEps)
+		}
+	}
+	if nominal.Robust != nil {
+		t.Fatal("nominal search populated robust summaries")
+	}
+	if robust.Trace.Conditions != conds.String() {
+		t.Fatalf("trace conditions %q, want %q", robust.Trace.Conditions, conds.String())
+	}
+
+	// Worker invariance in robust mode: the outputs — front, finalists,
+	// summaries — are byte-identical at any worker count. (The trace's
+	// cache accounting legitimately shifts with store warmth between runs,
+	// so it is not part of the comparison.)
+	sameOutputs := func(a, b *search.Result, what string) {
+		t.Helper()
+		if !reflect.DeepEqual(a.Front, b.Front) ||
+			!reflect.DeepEqual(a.Finalists, b.Finalists) ||
+			!reflect.DeepEqual(a.Robust, b.Robust) {
+			t.Fatalf("%s changed the robust result", what)
+		}
+	}
+	again, _, _ := run(1, true)
+	sameOutputs(robust, again, "-workers 1 vs -workers 8")
+
+	// Repeat run against the shared store: zero backend evaluations at
+	// either fidelity, identical result.
+	rerun, screenCalls, finalCalls := run(8, true)
+	if screenCalls != 0 || finalCalls != 0 {
+		t.Fatalf("repeat robust run hit the backends: %d screen + %d final calls, want 0",
+			screenCalls, finalCalls)
+	}
+	if n := rerun.Trace.ScreenEvaluations() + rerun.Trace.FinalEvaluations(); n != 0 {
+		t.Fatalf("repeat robust run trace reports %d evaluations, want 0", n)
+	}
+	sameOutputs(robust, rerun, "store-served repeat run")
+}
+
+// TestRobustSearchWorkerInvarianceFullResult pins the stronger contract on
+// fresh engines (no store): the ENTIRE robust Result, trace included, is
+// identical at any worker count.
+func TestRobustSearchWorkerInvarianceFullResult(t *testing.T) {
+	conds := robustConditions(t)
+	run := func(workers int) *search.Result {
+		res, err := search.Run(search.Options{
+			Space:      robustSpace(),
+			Screen:     engine.New(&pvtBackend{name: "screen"}, workers),
+			Final:      engine.New(&pvtBackend{name: "golden"}, workers),
+			Conditions: conds,
+			Rungs:      2,
+			Eta:        2,
+			Refine:     true,
+			Seed:       42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if !reflect.DeepEqual(run(1), run(8)) {
+		t.Fatal("robust search result differs between -workers 1 and -workers 8")
+	}
+}
+
+// TestRobustSearchPromotesAllConditions: the final-fidelity pass evaluates
+// every finalist at every condition of the set, and the per-rung trace
+// records the condition dimension.
+func TestRobustSearchPromotesAllConditions(t *testing.T) {
+	conds := robustConditions(t)
+	finalBack := &pvtBackend{name: "golden"}
+	res, err := search.Run(search.Options{
+		Space:      robustSpace(),
+		Screen:     engine.New(&pvtBackend{name: "screen"}, 4),
+		Final:      engine.New(finalBack, 4),
+		Conditions: conds,
+		Rungs:      2,
+		Eta:        2,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFinal := int64(len(res.Finalists) * conds.Len())
+	if got := finalBack.calls.Load(); got != wantFinal {
+		t.Fatalf("final fidelity ran %d evaluations, want %d (finalists × conditions)", got, wantFinal)
+	}
+	for _, r := range res.Trace.Rungs {
+		if r.Conditions != conds.Len() {
+			t.Fatalf("rung %d records %d conditions, want %d", r.Rung, r.Conditions, conds.Len())
+		}
 	}
 }

@@ -22,9 +22,10 @@
 //   - Compaction rewrites a partition from its live index via an atomic
 //     write-then-rename snapshot; a crash mid-compaction leaves the old
 //     segment intact.
-//   - Retention (Options.MaxBytes) bounds long-lived shared caches: at open,
-//     whole segments are evicted least-recently-written first until the
-//     rest fits the budget. Evicted corners recompute on demand.
+//   - Retention bounds long-lived shared caches at open: whole segments
+//     older than Options.MaxAge are evicted outright, then segments are
+//     evicted least-recently-written first until the rest fits
+//     Options.MaxBytes. Evicted corners recompute on demand.
 //
 // The store implements engine.Store and is wired in as the middle tier of
 // the engine's memory → disk → backend lookup path (see exp.Context and the
@@ -41,6 +42,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"optima/internal/engine"
 )
@@ -70,6 +72,13 @@ type Options struct {
 	// Evicted results only cost recomputation — the retention policy for
 	// long-lived shared caches. <= 0 means unlimited.
 	MaxBytes int64
+	// MaxAge bounds the store's staleness: at open, whole segments whose
+	// modification time is older than the bound are evicted outright,
+	// before the MaxBytes pass. An age bound keeps a shared cache from
+	// serving arbitrarily old (if still fingerprint-valid) results and
+	// reclaims directories abandoned by retired configurations. <= 0 means
+	// unlimited.
+	MaxAge time.Duration
 }
 
 // manifest is the store's snapshot metadata, rewritten atomically on every
@@ -138,7 +147,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			nparts = m.Partitions // layout is fixed at creation
 		}
 	}
-	if err := applyRetention(dir, nparts, opts.MaxBytes); err != nil {
+	if err := applyRetention(dir, nparts, opts.MaxBytes, opts.MaxAge); err != nil {
 		releaseLock(lock)
 		return nil, err
 	}
@@ -158,13 +167,16 @@ func Open(dir string, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// applyRetention enforces Options.MaxBytes before the segments are loaded:
-// while the segment files exceed the budget, the segment with the oldest
-// modification time is deleted outright (its results recompute on demand;
-// correctness never depends on the store's contents). Ties break by file
-// name so eviction is deterministic. maxBytes <= 0 disables retention.
-func applyRetention(dir string, nparts int, maxBytes int64) error {
-	if maxBytes <= 0 {
+// applyRetention enforces Options.MaxAge and Options.MaxBytes before the
+// segments are loaded. The age pass runs first and unconditionally: every
+// segment whose modification time is older than maxAge is deleted outright.
+// Then, while the remaining segment files exceed the byte budget, the
+// segment with the oldest modification time is deleted (its results
+// recompute on demand; correctness never depends on the store's contents).
+// Ties break by file name so eviction is deterministic. A bound <= 0
+// disables that pass.
+func applyRetention(dir string, nparts int, maxBytes int64, maxAge time.Duration) error {
+	if maxBytes <= 0 && maxAge <= 0 {
 		return nil
 	}
 	type seg struct {
@@ -174,6 +186,10 @@ func applyRetention(dir string, nparts int, maxBytes int64) error {
 	}
 	var segs []seg
 	var total int64
+	cutoff := int64(math.MinInt64)
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge).UnixNano()
+	}
 	for i := 0; i < nparts; i++ {
 		path := filepath.Join(dir, fmt.Sprintf("seg-%02d.jsonl", i))
 		fi, err := os.Stat(path)
@@ -183,8 +199,17 @@ func applyRetention(dir string, nparts int, maxBytes int64) error {
 		if err != nil {
 			return fmt.Errorf("store: retention: %w", err)
 		}
+		if fi.ModTime().UnixNano() < cutoff {
+			if err := os.Remove(path); err != nil {
+				return fmt.Errorf("store: retention: %w", err)
+			}
+			continue
+		}
 		segs = append(segs, seg{path: path, size: fi.Size(), mtime: fi.ModTime().UnixNano()})
 		total += fi.Size()
+	}
+	if maxBytes <= 0 {
+		return nil
 	}
 	sort.Slice(segs, func(i, j int) bool {
 		if segs[i].mtime != segs[j].mtime {

@@ -630,3 +630,121 @@ func TestRetentionDisabledByDefault(t *testing.T) {
 		t.Fatalf("unbounded reopen holds %d results, want 32", got)
 	}
 }
+
+// TestRetentionEvictsAgedSegments pins the MaxAge policy: reopening with an
+// age bound deletes every segment whose mtime is older than the bound —
+// regardless of size — keeps the fresh ones intact, and leaves the store
+// writable. Age retention composes with MaxBytes (the age pass runs first).
+func TestRetentionEvictsAgedSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 64)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	if len(segs) != DefaultPartitions {
+		t.Fatalf("found %d segments, want %d", len(segs), DefaultPartitions)
+	}
+	// Age the first half of the segments beyond the bound; keep the rest
+	// fresh. Record pre-retention sizes so naturally empty partitions do
+	// not read as evictions.
+	old := time.Now().Add(-48 * time.Hour)
+	aged := map[string]bool{}
+	sizes := map[string]int64{}
+	for i, p := range segs {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[p] = fi.Size()
+		if i < len(segs)/2 {
+			if err := os.Chtimes(p, old, old); err != nil {
+				t.Fatal(err)
+			}
+			aged[p] = true
+		}
+	}
+
+	s, err = Open(dir, Options{Fingerprint: "fp-a", MaxAge: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for _, p := range segs {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if aged[p] && fi.Size() > 0 {
+			t.Fatalf("aged segment %s survived the age bound", p)
+		}
+		if !aged[p] && fi.Size() != sizes[p] {
+			t.Fatalf("fresh segment %s changed by the age bound: %d -> %d bytes", p, sizes[p], fi.Size())
+		}
+	}
+
+	// Survivors still serve correct values; evicted keys merely miss.
+	found := 0
+	for i := 0; i < 64; i++ {
+		if met, ok := s.Get(testKey(i)); ok {
+			if met != testMet(i) {
+				t.Fatalf("survivor %d corrupted by age retention", i)
+			}
+			found++
+		}
+	}
+	if found == 0 || found >= 64 {
+		t.Fatalf("age retention kept %d of 64 results, want a strict subset", found)
+	}
+	if found != s.Len() {
+		t.Fatalf("index count %d disagrees with Get survivors %d", s.Len(), found)
+	}
+	if err := s.Put(testKey(200), testMet(200)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(testKey(200)); !ok {
+		t.Fatal("store not writable after age retention")
+	}
+}
+
+// TestRetentionAgeDisabledByDefault: MaxAge 0 must not evict, however old
+// the segments are.
+func TestRetentionAgeDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 32)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ancient := time.Now().Add(-1000 * time.Hour)
+	for _, p := range segs {
+		if err := os.Chtimes(p, ancient, ancient); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err = Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 32 {
+		t.Fatalf("unbounded reopen holds %d results, want 32", got)
+	}
+}
