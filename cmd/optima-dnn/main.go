@@ -8,6 +8,7 @@
 // Usage:
 //
 //	optima-dnn [-out dir] [-bench] [-noisy] [-model in.json] [-workers N] [-backend B] [-cache-dir dir]
+//	           [-cpuprofile f] [-memprofile f]
 //
 // -bench runs the reduced protocol used by the benchmark harness; -noisy
 // samples per-operation mismatch in the multiplier LUT (extension — the
@@ -18,7 +19,9 @@
 // selects the corner-selection backend (behavioral or golden); -cache-dir
 // persists corner-selection results in the shared content-addressed result
 // store (internal/store), so a preceding `optima dse -cache-dir <dir>` makes
-// corner selection here free.
+// corner selection here free. -cpuprofile/-memprofile write pprof profiles
+// of the run (CPU sampling over the whole analysis, heap snapshot at exit)
+// for `go tool pprof`.
 package main
 
 import (
@@ -46,15 +49,41 @@ func main() {
 		"evict least-recently-written cache segments beyond this size when the store opens (0 = unlimited)")
 	cacheAge := flag.Duration("cache-max-age", 0,
 		"evict cache segments older than this when the store opens (e.g. 720h; 0 = unlimited)")
+	cpuProfile := flag.String("cpuprofile", "",
+		"write a pprof CPU profile of the run to this file (analyze with `go tool pprof`)")
+	memProfile := flag.String("memprofile", "",
+		"write a pprof heap profile to this file when the run finishes")
 	flag.Parse()
 
-	if err := run(*outDir, *bench, *noisy, *modelPath, *workers, *backend, *cacheDir, *cacheMax, *cacheAge); err != nil {
+	opts := runOpts{
+		outDir: *outDir, bench: *bench, noisy: *noisy, modelPath: *modelPath,
+		workers: *workers, backend: *backend,
+		cacheDir: *cacheDir, cacheMax: *cacheMax, cacheAge: *cacheAge,
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "optima-dnn:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, bench, noisy bool, modelPath string, workers int, backend, cacheDir string, cacheMax int64, cacheAge time.Duration) error {
+// runOpts carries the parsed flag values into run.
+type runOpts struct {
+	outDir                 string
+	bench, noisy           bool
+	modelPath              string
+	workers                int
+	backend                string
+	cacheDir               string
+	cacheMax               int64
+	cacheAge               time.Duration
+	cpuProfile, memProfile string
+}
+
+func run(o runOpts) error {
+	outDir, bench, noisy := o.outDir, o.bench, o.noisy
+	modelPath, workers, backend := o.modelPath, o.workers, o.backend
+	cacheDir, cacheMax, cacheAge := o.cacheDir, o.cacheMax, o.cacheAge
 	if err := engine.ValidateBackendName(backend); err != nil {
 		return err
 	}
@@ -80,7 +109,12 @@ func run(outDir string, bench, noisy bool, modelPath string, workers int, backen
 	ctx.CacheDir = cacheDir
 	ctx.CacheMaxBytes = cacheMax
 	ctx.CacheMaxAge = cacheAge
+	ctx.CPUProfile = o.cpuProfile
+	ctx.MemProfile = o.memProfile
 	defer ctx.Close()
+	if err := ctx.StartProfiling(); err != nil {
+		return err
+	}
 
 	sel, err := ctx.Selection()
 	if err != nil {

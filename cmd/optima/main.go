@@ -54,6 +54,10 @@
 // -cache-max-age bounds its staleness the same way: segments older than
 // the bound (e.g. 720h) are evicted at open.
 //
+// -cpuprofile and -memprofile (every sweep-running subcommand) write pprof
+// profiles of the run: CPU sampling covers the experiment work, the heap
+// snapshot is taken as the run finishes. Analyze with `go tool pprof`.
+//
 // Every artifact is written as .txt/.csv (tables) and .svg (charts) into
 // the output directory (default ./out).
 package main
@@ -131,6 +135,8 @@ type engineOpts struct {
 	cacheMax   *int64
 	cacheAge   *time.Duration
 	conditions *string
+	cpuProfile *string
+	memProfile *string
 }
 
 // engineFlags registers the shared evaluation-engine flags. -conditions is
@@ -144,6 +150,7 @@ func engineFlags(fs *flag.FlagSet) engineOpts {
 			"evaluation backend: behavioral (fast models) or golden (transient simulation; orders of magnitude slower)"),
 	}
 	eo.cacheFlags(fs)
+	eo.profileFlags(fs)
 	return eo
 }
 
@@ -156,6 +163,15 @@ func (eo *engineOpts) cacheFlags(fs *flag.FlagSet) {
 		"evict least-recently-written cache segments beyond this size when the store opens (0 = unlimited)")
 	eo.cacheAge = fs.Duration("cache-max-age", 0,
 		"evict cache segments older than this when the store opens (e.g. 720h; 0 = unlimited)")
+}
+
+// profileFlags registers the pprof flags (for subcommands that register
+// their engine flags piecemeal, like search and speedup).
+func (eo *engineOpts) profileFlags(fs *flag.FlagSet) {
+	eo.cpuProfile = fs.String("cpuprofile", "",
+		"write a pprof CPU profile of the run to this file (analyze with `go tool pprof`)")
+	eo.memProfile = fs.String("memprofile", "",
+		"write a pprof heap profile to this file when the run finishes")
 }
 
 // conditionsFlag registers the operating-condition-set flag.
@@ -228,6 +244,18 @@ func makeContext(modelPath string, quick bool, eo engineOpts) (*exp.Context, err
 	}
 	if eo.cacheAge != nil {
 		ctx.CacheMaxAge = *eo.cacheAge
+	}
+	if eo.cpuProfile != nil {
+		ctx.CPUProfile = *eo.cpuProfile
+	}
+	if eo.memProfile != nil {
+		ctx.MemProfile = *eo.memProfile
+	}
+	// The CPU profile runs until ctx.Close (which also snapshots the heap),
+	// so it covers exactly the experiment work between here and the caller's
+	// deferred Close.
+	if err := ctx.StartProfiling(); err != nil {
+		return nil, err
 	}
 	return ctx, nil
 }
@@ -542,13 +570,16 @@ func runSpeedup(args []string) error {
 	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
 	mc := fs.Int("mc", 200, "Monte-Carlo samples for the MC speed-up")
 	outDir := fs.String("out", "out", "artifact directory")
+	var eo engineOpts
+	eo.profileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx, err := makeContext(*modelPath, false, engineOpts{})
+	ctx, err := makeContext(*modelPath, false, eo)
 	if err != nil {
 		return err
 	}
+	defer ctx.Close()
 	out, err := report.NewOutput(*outDir)
 	if err != nil {
 		return err

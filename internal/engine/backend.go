@@ -121,7 +121,11 @@ func (b Behavioral) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) 
 	}
 	m := Metrics{Config: cfg, Cond: cond, LSBVolt: bm.LSBVolt}
 	err = m.accumulate(func(a, d uint) (eps, energy float64, err error) {
-		r, err := bm.Multiply(a, d, nil)
+		// The deterministic table path returns exactly Multiply(a, d, nil)
+		// without the per-call model evaluations or event-kernel
+		// allocations — the metrics (and therefore every persisted cache
+		// entry) are unchanged.
+		r, err := bm.MultiplyDet(a, d)
 		if err != nil {
 			return 0, 0, err
 		}

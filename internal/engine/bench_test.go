@@ -35,6 +35,23 @@ func benchJobs() []engine.Job {
 	return engine.Jobs(dse.DefaultGrid().Configs(), device.Nominal())
 }
 
+// BenchmarkBehavioralEvaluate tracks the per-corner cost of the behavioral
+// backend's hot loop — one full 16x16 operand sweep per Evaluate call,
+// served by the deterministic per-condition tables (allocation-free).
+func BenchmarkBehavioralEvaluate(b *testing.B) {
+	model := benchModelFixture(b)
+	backend := engine.Behavioral{Model: model}
+	cfg := dse.DefaultGrid().Configs()[0]
+	cond := device.Nominal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := backend.Evaluate(cfg, cond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEvaluateMatrix tracks the cross-condition evaluation plane: the
 // paper's 48-corner grid at 1 vs 5 operating conditions, cold (every cell
 // runs the backend) vs warm (every cell is a memory-tier hit). The 5-

@@ -1,0 +1,49 @@
+package engine
+
+import "math"
+
+// FNV-1a 64-bit constants (FNV-0 offset basis and prime). The hash is
+// computed inline instead of through hash/fnv so a Key can be hashed on a
+// hot path without allocating a hasher.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash content-addresses the key as a stable 64-bit value: FNV-1a over the
+// backend name followed by the little-endian bit patterns of every numeric
+// key field. Two properties matter:
+//
+//   - Stability. The byte stream is defined by the key's content alone, so
+//     the value is identical across processes, hosts and architectures —
+//     the property the persistent store's partition routing relies on
+//     today and a key-range-sharded remote store relies on tomorrow.
+//   - Zero allocation. The whole computation stays in registers/stack
+//     (verified by TestKeyHashZeroAlloc), so per-lookup routing never
+//     contributes allocator pressure.
+//
+// The stream layout (backend bytes, then Tau0, VDAC0, VDACFS, Corner, VDD,
+// TempC as 8 little-endian bytes each) is frozen: changing it remaps every
+// record of existing stores across partitions.
+func (k Key) Hash() uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(k.Backend); i++ {
+		h = (h ^ uint64(k.Backend[i])) * fnvPrime64
+	}
+	h = fnvMix64(h, math.Float64bits(k.Config.Tau0))
+	h = fnvMix64(h, math.Float64bits(k.Config.VDAC0))
+	h = fnvMix64(h, math.Float64bits(k.Config.VDACFS))
+	h = fnvMix64(h, uint64(k.Cond.Corner))
+	h = fnvMix64(h, math.Float64bits(k.Cond.VDD))
+	h = fnvMix64(h, math.Float64bits(k.Cond.TempC))
+	return h
+}
+
+// fnvMix64 folds one 64-bit value into the FNV-1a state byte by byte,
+// little-endian — the same stream an 8-byte LE buffer write would produce.
+func fnvMix64(h, v uint64) uint64 {
+	for b := 0; b < 8; b++ {
+		h = (h ^ (v >> (8 * b) & 0xff)) * fnvPrime64
+	}
+	return h
+}

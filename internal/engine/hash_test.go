@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"optima/internal/device"
+	"optima/internal/mult"
+)
+
+// refHash is the reference implementation Key.Hash must match: hash/fnv
+// over the backend name and a little-endian scratch of the numeric fields —
+// the exact stream the store's partition router historically hashed, so
+// existing store directories keep their partition residency.
+func refHash(k Key) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.Backend))
+	var scratch [8 * 6]byte
+	vals := [...]uint64{
+		math.Float64bits(k.Config.Tau0),
+		math.Float64bits(k.Config.VDAC0),
+		math.Float64bits(k.Config.VDACFS),
+		uint64(k.Cond.Corner),
+		math.Float64bits(k.Cond.VDD),
+		math.Float64bits(k.Cond.TempC),
+	}
+	for i, v := range vals {
+		for b := 0; b < 8; b++ {
+			scratch[i*8+b] = byte(v >> (8 * b))
+		}
+	}
+	h.Write(scratch[:])
+	return h.Sum64()
+}
+
+func hashTestKeys() []Key {
+	conds := []device.PVT{
+		device.Nominal(),
+		{Corner: device.CornerSS, VDD: 0.9, TempC: 60},
+		{Corner: device.CornerFF, VDD: 1.1, TempC: 0},
+	}
+	var keys []Key
+	for i := 0; i < 64; i++ {
+		keys = append(keys, Key{
+			Backend: []string{BackendBehavioral, BackendGolden, "fake"}[i%3],
+			Job: Job{
+				Config: mult.Config{
+					Tau0:   float64(i+1) * 0.04e-9,
+					VDAC0:  0.25 + float64(i%5)*0.05,
+					VDACFS: 0.7 + float64(i%4)*0.1,
+				},
+				Cond: conds[i%len(conds)],
+			},
+		})
+	}
+	// Edge patterns: zero value, negative zero, denormals, huge values.
+	keys = append(keys,
+		Key{},
+		Key{Backend: "", Job: Job{Config: mult.Config{Tau0: math.Copysign(0, -1)}}},
+		Key{Backend: "x", Job: Job{Config: mult.Config{Tau0: 5e-324, VDACFS: math.MaxFloat64}}},
+	)
+	return keys
+}
+
+// TestKeyHashMatchesReference pins the frozen byte stream: the inlined
+// FNV-1a must agree with hash/fnv on every field pattern, or existing
+// stores silently remap their records across partitions.
+func TestKeyHashMatchesReference(t *testing.T) {
+	for _, k := range hashTestKeys() {
+		if got, want := k.Hash(), refHash(k); got != want {
+			t.Fatalf("Hash(%+v) = %#x, reference fnv gives %#x", k, got, want)
+		}
+	}
+}
+
+// TestKeyHashDistinguishesKeys guards against degenerate mixing: distinct
+// keys in a realistic population must not collide.
+func TestKeyHashDistinguishesKeys(t *testing.T) {
+	seen := map[uint64]Key{}
+	for _, k := range hashTestKeys() {
+		if prev, ok := seen[k.Hash()]; ok && prev != k {
+			t.Fatalf("hash collision between %+v and %+v", prev, k)
+		}
+		seen[k.Hash()] = k
+	}
+	if len(seen) < 60 {
+		t.Fatalf("only %d distinct hashes over the test population", len(seen))
+	}
+}
+
+var hashSink uint64
+
+// TestKeyHashZeroAlloc is the satellite's allocs/op assertion: routing a
+// key to its partition must never allocate (the v1 router paid a fresh
+// fnv.New64a hasher per lookup).
+func TestKeyHashZeroAlloc(t *testing.T) {
+	key := Key{
+		Backend: BackendBehavioral,
+		Job: Job{
+			Config: mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0},
+			Cond:   device.Nominal(),
+		},
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		hashSink = key.Hash()
+	})
+	if allocs != 0 {
+		t.Fatalf("Key.Hash allocates %.1f objects per call, want 0", allocs)
+	}
+}

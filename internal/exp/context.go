@@ -58,10 +58,17 @@ type Context struct {
 	// ConditionSet to read it with that default applied. Parsed from the
 	// CLIs' -conditions flag by engine.ParseConditionSet.
 	Conditions engine.ConditionSet
+	// CPUProfile and MemProfile, when non-empty, are file paths the session
+	// writes pprof profiles to: CPU sampling runs from StartProfiling until
+	// Close, the heap snapshot is taken at Close. Wired to the CLIs'
+	// -cpuprofile/-memprofile flags (see profile.go).
+	CPUProfile string
+	MemProfile string
 
 	engOnce      sync.Once
 	eng          *engine.Engine
 	resultStore  *store.Store
+	cpuFile      *os.File
 	selection    *dse.Selection
 	sweepMetrics []dse.Metrics
 
@@ -185,13 +192,18 @@ func (c *Context) ConditionSet() engine.ConditionSet {
 // is unset (or the store failed to open). Valid after the first Engine call.
 func (c *Context) Store() *store.Store { return c.resultStore }
 
-// Close flushes and closes the persistent result store, if any. Safe to
-// call on a context that never evaluated anything.
+// Close finishes the session: any running CPU profile is stopped and the
+// heap profile written (profile.go), then the persistent result store, if
+// any, is flushed and closed. Safe to call on a context that never
+// evaluated anything.
 func (c *Context) Close() error {
-	if c.resultStore == nil {
-		return nil
+	err := c.stopProfiling()
+	if c.resultStore != nil {
+		if serr := c.resultStore.Close(); err == nil {
+			err = serr
+		}
 	}
-	return c.resultStore.Close()
+	return err
 }
 
 // Sweep returns the cached 48-corner DSE sweep, running it on first use.

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// pprof wiring for experiment sessions. Profiling a run answers the
+// questions the engine's aggregate stats cannot: where the evaluation time
+// goes (backend model math vs. store I/O vs. scheduling) and what
+// allocates on the hot path. The CLIs expose it as -cpuprofile/-memprofile;
+// analyze the output with `go tool pprof`.
+
+// StartProfiling begins the session's profiling as configured by the
+// CPUProfile/MemProfile fields: CPU sampling starts now and runs until
+// Close, which also snapshots the heap for MemProfile. A no-op when neither
+// field is set. Call it once, before the experiment work, and always pair
+// it with Close — an unstopped CPU profile is truncated and unreadable.
+func (c *Context) StartProfiling() error {
+	if c.CPUProfile == "" {
+		return nil
+	}
+	f, err := os.Create(c.CPUProfile)
+	if err != nil {
+		return fmt.Errorf("exp: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("exp: cpu profile: %w", err)
+	}
+	c.cpuFile = f
+	return nil
+}
+
+// stopProfiling finishes both profiles; called from Close.
+func (c *Context) stopProfiling() error {
+	var first error
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil {
+			first = fmt.Errorf("exp: cpu profile: %w", err)
+		}
+		c.cpuFile = nil
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("exp: mem profile: %w", err)
+			}
+			return first
+		}
+		// Materialize a settled heap: the snapshot should show what the run
+		// retains, not what the collector hasn't visited yet.
+		runtime.GC()
+		err = pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil && first == nil {
+			first = fmt.Errorf("exp: mem profile: %w", err)
+		}
+		c.MemProfile = "" // written once, even if Close runs twice
+	}
+	return first
+}

@@ -85,7 +85,7 @@ func TestStorePersistsAcrossSessions(t *testing.T) {
 
 	// Corrupt the store's tails (torn final records). Session 3 must still
 	// return byte-identical metrics, recomputing only the damage.
-	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -143,6 +143,10 @@ type Behavioral struct {
 	// DAC optionally replaces the linear code-to-voltage mapping with a
 	// trimmed nonlinear DAC (see CalibrateNonlinearDAC).
 	DAC *NonlinearDAC
+	// det caches the deterministic per-(code, bit) model outputs at Cond
+	// (see deterministic.go); MultiplyDet falls back to direct model calls
+	// when it is absent or stale.
+	det *detTable
 }
 
 // ErrScale is returned when a configuration produces no usable full-scale
@@ -163,15 +167,21 @@ func NewBehavioral(model *core.Model, cfg Config, cond device.PVT) (*Behavioral,
 		ADCEnergy:  DefaultADCEnergy,
 		CtrlEnergy: DefaultCtrlEnergy,
 	}
+	// The trim fit and the deterministic fast path consume the same 16×4
+	// model outputs; precompute them once (64 VBL calls instead of ~1k).
 	nominal := device.Nominal()
-	gain, offset, err := fitADCTrim(func(a, d uint) float64 {
-		return b.combinedDeltaV(a, d, nominal, nil)
-	})
+	nomTab := b.buildDetTable(nominal)
+	gain, offset, err := fitADCTrim(nomTab.combined)
 	if err != nil {
 		return nil, fmt.Errorf("mult: config %v: %w", cfg, err)
 	}
 	b.LSBVolt = gain
 	b.OffsetVolt = offset
+	if cond.VDD == nominal.VDD && cond.TempC == nominal.TempC {
+		b.det = nomTab
+	} else {
+		b.det = b.buildDetTable(cond)
+	}
 	return b, nil
 }
 

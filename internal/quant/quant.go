@@ -56,7 +56,7 @@ func NewInMemory(b *mult.Behavioral, rng *stats.RNG) (*InMemory, error) {
 	im := &InMemory{rng: rng}
 	for a := uint(0); a <= mult.OperandMax; a++ {
 		for d := uint(0); d <= WeightMax; d++ {
-			r, err := b.Multiply(a, d, nil)
+			r, err := b.MultiplyDet(a, d)
 			if err != nil {
 				return nil, fmt.Errorf("quant: LUT at (%d,%d): %w", a, d, err)
 			}

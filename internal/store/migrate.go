@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"optima/internal/engine"
+)
+
+// Read-compat migration from format v1 (JSONL segments) to format v2
+// (binary records, codec.go). Open triggers it when the directory's
+// manifest declares version 1, or when legacy seg-NN.jsonl files exist
+// under a missing/torn manifest; the migrated directory then opens through
+// the normal v2 path and its manifest is rewritten as version 2. A v1
+// store is therefore served transparently — same keys, same values, zero
+// re-evaluation — the first open just pays one decode+rewrite pass.
+//
+// The migration is crash-tolerant and idempotent: each segment converts
+// via write-then-rename, the JSONL file is removed only after its binary
+// replacement is durable, and a partially migrated directory (manifest
+// still v1, some segments already converted) simply resumes — converted
+// segments are skipped because their .jsonl source is gone.
+
+// v1Record mirrors one v1 JSONL line. The JSON shape is frozen: it is the
+// on-disk format every pre-v2 store wrote.
+type v1Record struct {
+	FP  string         `json:"fp"`
+	Key engine.Key     `json:"key"`
+	Met engine.Metrics `json:"met"`
+}
+
+// v1SegmentGlob matches the legacy segment files of a directory.
+const v1SegmentGlob = "seg-*.jsonl"
+
+// hasV1Segments reports whether dir still holds legacy JSONL segments.
+func hasV1Segments(dir string) bool {
+	paths, err := filepath.Glob(filepath.Join(dir, v1SegmentGlob))
+	return err == nil && len(paths) > 0
+}
+
+// migrateV1 converts every legacy segment of dir to the v2 codec, in
+// deterministic (file-name) order.
+func migrateV1(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, v1SegmentGlob))
+	if err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := migrateV1Segment(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// migrateV1Segment rewrites one JSONL segment as a v2 binary segment next
+// to it (same partition number, .seg suffix) and removes the original.
+//
+// The decode keeps v1's torn-tail semantics: the valid prefix of the file
+// is migrated, anything after the first unparsable line is dropped. Unlike
+// ordinary compaction, records of EVERY fingerprint survive — a shared
+// cache directory serving several calibrations loses nothing to the format
+// upgrade; superseded values are still collapsed to the latest per
+// (fingerprint, key). The segment's modification time carries over so the
+// age/LRU retention passes judge the migrated file by its data's age, not
+// the migration's.
+func migrateV1Segment(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil // already migrated (resumed partial migration)
+	}
+	if err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+
+	type fpKey struct {
+		fp  string
+		key engine.Key
+	}
+	var order []fpKey
+	latest := map[fpKey]engine.Metrics{}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn tail: valid prefix only, as in the v1 loader
+		}
+		line := data[:nl]
+		data = data[nl+1:]
+		var rec v1Record
+		if json.Unmarshal(line, &rec) != nil || !validMetrics(rec.Met) {
+			break
+		}
+		k := fpKey{fp: rec.FP, key: rec.Key}
+		if _, seen := latest[k]; !seen {
+			order = append(order, k)
+		}
+		latest[k] = rec.Met
+	}
+
+	var buf []byte
+	for _, k := range order {
+		buf = appendRecord(buf, record{FP: k.fp, Key: k.key, Met: latest[k]})
+	}
+	out := strings.TrimSuffix(path, ".jsonl") + segSuffix
+	if len(buf) > 0 {
+		tmp := out + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return fmt.Errorf("store: migrate: %w", err)
+		}
+		if _, err := f.Write(buf); err == nil {
+			err = f.Sync()
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("store: migrate: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("store: migrate: %w", err)
+		}
+		if err := os.Rename(tmp, out); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("store: migrate: %w", err)
+		}
+		// Preserve the data's age for the retention passes; best-effort.
+		_ = os.Chtimes(out, fi.ModTime(), fi.ModTime())
+	}
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("store: migrate: %w", err)
+	}
+	return nil
+}

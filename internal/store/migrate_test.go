@@ -1,0 +1,305 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"optima/internal/engine"
+)
+
+// writeV1Store fabricates a legacy format-v1 directory: JSONL segments
+// partitioned by key hash (the routing v1 used) plus a version-1 manifest.
+// entries maps fingerprint -> records stored under it.
+func writeV1Store(t *testing.T, dir string, nparts int, entries map[string][]engine.CacheEntry) {
+	t.Helper()
+	segs := make([][]byte, nparts)
+	for fp, ents := range entries {
+		for _, ent := range ents {
+			line, err := json.Marshal(v1Record{FP: fp, Key: ent.Key, Met: ent.Met})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := ent.Key.Hash() % uint64(nparts)
+			segs[p] = append(segs[p], line...)
+			segs[p] = append(segs[p], '\n')
+		}
+	}
+	for i, data := range segs {
+		path := filepath.Join(dir, segName(i))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := json.Marshal(manifest{Version: formatVersionV1, Partitions: nparts, Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), m, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// segName is the legacy v1 segment file name for partition i.
+func segName(i int) string {
+	return "seg-" + string([]byte{byte('0' + i/10), byte('0' + i%10)}) + ".jsonl"
+}
+
+func v1Entries(n int) []engine.CacheEntry {
+	ents := make([]engine.CacheEntry, n)
+	for i := range ents {
+		ents[i] = engine.CacheEntry{Key: testKey(i), Met: testMet(i)}
+	}
+	return ents
+}
+
+// TestV1MigrationServesEveryRecord is the read-compat contract: opening a
+// v1 directory converts it in place and serves every record — same keys,
+// same values — with the JSONL segments gone and the manifest at v2.
+func TestV1MigrationServesEveryRecord(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, DefaultPartitions, map[string][]engine.CacheEntry{
+		"fp-a": v1Entries(40),
+	})
+
+	s, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatalf("v1 directory must open through migration: %v", err)
+	}
+	if got := s.Len(); got != 40 {
+		t.Fatalf("migrated store serves %d results, want 40", got)
+	}
+	for i := 0; i < 40; i++ {
+		met, ok := s.Get(testKey(i))
+		if !ok {
+			t.Fatalf("record %d lost in migration", i)
+		}
+		if met != testMet(i) {
+			t.Fatalf("record %d corrupted in migration:\n got %+v\nwant %+v", i, met, testMet(i))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if hasV1Segments(dir) {
+		t.Fatal("JSONL segments remain after migration")
+	}
+	m, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil || m == nil {
+		t.Fatalf("manifest unreadable after migration: %v", err)
+	}
+	if m.Version != FormatVersion {
+		t.Fatalf("manifest version %d after migration, want %d", m.Version, FormatVersion)
+	}
+
+	// Reopen: the migrated directory is a plain v2 store now.
+	s, err = Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 40 {
+		t.Fatalf("reopened migrated store serves %d results, want 40", got)
+	}
+}
+
+// TestV1MigrationKeepsForeignFingerprints: unlike compaction, the format
+// upgrade itself must not discard other calibrations' results — every
+// fingerprint's records land in the converted segments. (What happens to
+// them NEXT is the ordinary compaction policy: a session opening under one
+// fingerprint may still collapse partitions that are mostly another's.)
+func TestV1MigrationKeepsForeignFingerprints(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, 2, map[string][]engine.CacheEntry{
+		"fp-a": v1Entries(10),
+		"fp-b": {{Key: testKey(100), Met: testMet(100)}, {Key: testKey(101), Met: testMet(101)}},
+	})
+	if err := migrateV1(dir); err != nil {
+		t.Fatal(err)
+	}
+	perFP := map[string]int{}
+	for i := 0; i < 2; i++ {
+		data, err := os.ReadFile(segPath(dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for len(data) > 0 {
+			rec, n, ok := decodeRecord(data)
+			if !ok {
+				t.Fatalf("segment %d holds an undecodable record after migration", i)
+			}
+			perFP[rec.FP]++
+			data = data[n:]
+		}
+	}
+	if perFP["fp-a"] != 10 || perFP["fp-b"] != 2 {
+		t.Fatalf("migrated segments hold %v records per fingerprint, want fp-a:10 fp-b:2", perFP)
+	}
+}
+
+// TestV1MigrationWithoutManifest: a v1 directory whose manifest write was
+// torn (or missing) is recognized by its segment files alone.
+func TestV1MigrationWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, DefaultPartitions, map[string][]engine.CacheEntry{
+		"fp-a": v1Entries(12),
+	})
+	if err := os.Remove(filepath.Join(dir, manifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 12 {
+		t.Fatalf("manifest-less v1 directory serves %d results, want 12", got)
+	}
+	if hasV1Segments(dir) {
+		t.Fatal("JSONL segments remain after migration")
+	}
+}
+
+// TestV1MigrationTornTail: v1's torn-tail semantics carry through the
+// migration — the valid prefix survives, the torn line is dropped, the open
+// never fails.
+func TestV1MigrationTornTail(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, 1, map[string][]engine.CacheEntry{
+		"fp-a": v1Entries(8),
+	})
+	path := filepath.Join(dir, segName(0))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"fp":"fp-a","key":{"Backend":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s, err := Open(dir, Options{Fingerprint: "fp-a", Partitions: 1})
+	if err != nil {
+		t.Fatalf("torn v1 tail must not fail the migration: %v", err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 8 {
+		t.Fatalf("torn-tail migration serves %d results, want 8", got)
+	}
+}
+
+// TestV1MigrationLastValueWins: a key written twice in a v1 segment (an
+// overwrite awaiting compaction) migrates to its latest value only.
+func TestV1MigrationLastValueWins(t *testing.T) {
+	dir := t.TempDir()
+	stale := testMet(1)
+	stale.EpsMul = 999
+	writeV1Store(t, dir, 1, map[string][]engine.CacheEntry{
+		"fp-a": {
+			{Key: testKey(1), Met: stale},
+			{Key: testKey(2), Met: testMet(2)},
+			{Key: testKey(1), Met: testMet(1)}, // supersedes the stale value
+		},
+	})
+	s, err := Open(dir, Options{Fingerprint: "fp-a", Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 2 {
+		t.Fatalf("migrated store serves %d results, want 2", got)
+	}
+	if met, _ := s.Get(testKey(1)); met != testMet(1) {
+		t.Fatalf("migration kept the superseded value: %+v", met)
+	}
+}
+
+// TestV1MigrationPreservesMtime: the converted segment carries the data's
+// age, so age/LRU retention judges migrated data by when it was written,
+// not by when the format changed.
+func TestV1MigrationPreservesMtime(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, 1, map[string][]engine.CacheEntry{
+		"fp-a": v1Entries(4),
+	})
+	path := filepath.Join(dir, segName(0))
+	old := time.Now().Add(-72 * time.Hour).Truncate(time.Second)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := migrateV1(dir); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(segPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fi.ModTime().Equal(old) {
+		t.Fatalf("migrated segment mtime %v, want the v1 data's %v", fi.ModTime(), old)
+	}
+}
+
+// TestV1MigrationIdempotentResume: re-running the migration over a
+// partially converted directory (a crash between segments) completes it
+// without damaging already-converted segments.
+func TestV1MigrationIdempotentResume(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, 4, map[string][]engine.CacheEntry{
+		"fp-a": v1Entries(24),
+	})
+	// Convert only the first segment, as a crashed first attempt would.
+	if err := migrateV1Segment(filepath.Join(dir, segName(0))); err != nil {
+		t.Fatal(err)
+	}
+	// The resumed open completes the rest.
+	s, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Len(); got != 24 {
+		t.Fatalf("resumed migration serves %d results, want 24", got)
+	}
+}
+
+// TestTieredEngineOverV1Store is the acceptance criterion end to end: an
+// engine over a freshly migrated v1 directory performs ZERO backend
+// evaluations — the old cache's results all survive the format change.
+func TestTieredEngineOverV1Store(t *testing.T) {
+	dir := t.TempDir()
+	jobs := make([]engine.Job, 24)
+	ents := make([]engine.CacheEntry, len(jobs))
+	backend := &countingBackend{}
+	for i := range jobs {
+		jobs[i] = testKey(i).Job
+		met, err := backend.Evaluate(jobs[i].Config, jobs[i].Cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ents[i] = engine.CacheEntry{Key: engine.Key{Backend: backend.Name(), Job: jobs[i]}, Met: met}
+	}
+	backend.evals.Store(0)
+	writeV1Store(t, dir, DefaultPartitions, map[string][]engine.CacheEntry{"fp": ents})
+
+	s, err := Open(dir, Options{Fingerprint: "fp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mets, err := engine.New(backend, 4).WithStore(s).EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := backend.evals.Load(); got != 0 {
+		t.Fatalf("warm run over a migrated v1 store evaluated %d corners, want 0", got)
+	}
+	for i, met := range mets {
+		if met != ents[i].Met {
+			t.Fatalf("migrated corner %d differs from the v1 store's value", i)
+		}
+	}
+}

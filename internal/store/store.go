@@ -7,18 +7,26 @@
 //
 // Layout and durability model:
 //
-//   - The store is an append-only JSONL segment log under one directory,
-//     partitioned by key hash into a fixed number of segment files
-//     (seg-NN.jsonl). Partitioning keeps append contention per-partition
-//     and gives a future key-range-sharded or remote store a drop-in seam:
-//     the engine.Store interface never exposes the layout.
+//   - The store is an append-only segment log under one directory,
+//     partitioned by key hash (engine.Key.Hash, stable across hosts) into
+//     a fixed number of segment files (seg-NN.seg). Partitioning keeps
+//     append contention per-partition and gives a future key-range-sharded
+//     or remote store a drop-in seam: the engine.Store interface never
+//     exposes the layout.
+//   - Records use the format-v2 binary codec (codec.go): length-prefixed,
+//     fixed-width key/metric fields, one CRC32 per record. Format-v1
+//     directories (JSONL segments) migrate transparently at open
+//     (migrate.go) — same keys, same values, zero re-evaluation.
 //   - Every record carries the writer's fingerprint. Only records matching
 //     the store's open fingerprint enter the in-memory index, so a stale
 //     calibration can never serve wrong results — it only costs
 //     recomputation.
 //   - Appends are crash-tolerant: a truncated or corrupt tail record is
-//     skipped on open (never fatal), and the partition is immediately
-//     compacted so new appends don't land behind garbage.
+//     skipped on open (never fatal), and the damaged partition is
+//     compacted on the spot so new appends don't land behind garbage.
+//     Undamaged partitions are only compacted when their garbage
+//     (superseded or foreign-fingerprint records) exceeds ~25% of the
+//     segment — opening a large clean store is a pure read, not a rewrite.
 //   - Compaction rewrites a partition from its live index via an atomic
 //     write-then-rename snapshot; a crash mid-compaction leaves the old
 //     segment intact.
@@ -33,10 +41,8 @@
 package store
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
@@ -50,10 +56,26 @@ import (
 // DefaultPartitions is the segment count new stores are created with.
 const DefaultPartitions = 16
 
-// FormatVersion identifies the on-disk layout. A directory written by a
-// different version is rejected by Open (the caller degrades to a
-// memory-only cache).
-const FormatVersion = 1
+// FormatVersion identifies the on-disk layout. Version 1 (JSONL segments)
+// is migrated in place at open; anything else from the future is rejected
+// by Open (the caller degrades to a memory-only cache).
+const FormatVersion = 2
+
+// formatVersionV1 is the legacy JSONL layout, readable via migration.
+const formatVersionV1 = 1
+
+// segSuffix is the v2 segment file extension.
+const segSuffix = ".seg"
+
+// segPath names partition i's segment file.
+func segPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("seg-%02d%s", i, segSuffix))
+}
+
+// compactGarbageDenom sets the open-time compaction threshold: a partition
+// is rewritten when garbage records exceed 1/compactGarbageDenom (~25%) of
+// its total. Below that, the open leaves the segment file untouched.
+const compactGarbageDenom = 4
 
 const manifestName = "manifest.json"
 
@@ -89,11 +111,12 @@ type manifest struct {
 	Fingerprint string `json:"fingerprint"` // last writer, informational
 }
 
-// record is one JSONL line.
+// record is one stored result: the writer's fingerprint, the evaluation
+// key, and its metrics. codec.go defines its wire form.
 type record struct {
-	FP  string         `json:"fp"`
-	Key engine.Key     `json:"key"`
-	Met engine.Metrics `json:"met"`
+	FP  string
+	Key engine.Key
+	Met engine.Metrics
 }
 
 // partition is one segment file plus its in-memory index of live records.
@@ -139,12 +162,21 @@ func Open(dir string, opts Options) (*Store, error) {
 		releaseLock(lock)
 		return nil, err
 	} else if m != nil {
-		if m.Version != FormatVersion {
+		if m.Version != FormatVersion && m.Version != formatVersionV1 {
 			releaseLock(lock)
 			return nil, fmt.Errorf("store: %s has format version %d, want %d", dir, m.Version, FormatVersion)
 		}
 		if m.Partitions > 0 {
 			nparts = m.Partitions // layout is fixed at creation
+		}
+	}
+	// Upgrade legacy JSONL directories in place before the v2 load. The
+	// manifest-less case covers a torn manifest write over a v1 store: the
+	// segment files themselves identify the format.
+	if hasV1Segments(dir) {
+		if err := migrateV1(dir); err != nil {
+			releaseLock(lock)
+			return nil, err
 		}
 	}
 	if err := applyRetention(dir, nparts, opts.MaxBytes, opts.MaxAge); err != nil {
@@ -153,7 +185,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{dir: dir, fp: opts.Fingerprint, lock: lock, parts: make([]*partition, nparts)}
 	for i := range s.parts {
-		p, err := loadPartition(filepath.Join(dir, fmt.Sprintf("seg-%02d.jsonl", i)), opts.Fingerprint)
+		p, err := loadPartition(segPath(dir, i), opts.Fingerprint)
 		if err != nil {
 			s.closeFiles()
 			return nil, err
@@ -191,7 +223,7 @@ func applyRetention(dir string, nparts int, maxBytes int64, maxAge time.Duration
 		cutoff = time.Now().Add(-maxAge).UnixNano()
 	}
 	for i := 0; i < nparts; i++ {
-		path := filepath.Join(dir, fmt.Sprintf("seg-%02d.jsonl", i))
+		path := segPath(dir, i)
 		fi, err := os.Stat(path)
 		if os.IsNotExist(err) {
 			continue
@@ -230,9 +262,9 @@ func applyRetention(dir string, nparts int, maxBytes int64, maxAge time.Duration
 }
 
 // loadPartition scans one segment into an index. The scan stops at the
-// first record that does not parse — a torn append or on-disk corruption —
-// and the partition is compacted on the spot so the valid prefix is all
-// that remains and new appends land after readable data.
+// first record that does not decode — a torn append or CRC-detected
+// corruption — and the partition is compacted on the spot so the valid
+// prefix is all that remains and new appends land after readable data.
 func loadPartition(path, fp string) (*partition, error) {
 	p := &partition{path: path, index: map[engine.Key]engine.Metrics{}}
 	data, err := os.ReadFile(path)
@@ -241,28 +273,24 @@ func loadPartition(path, fp string) (*partition, error) {
 	}
 	dirty := false
 	for len(data) > 0 {
-		nl := bytes.IndexByte(data, '\n')
-		if nl < 0 {
-			dirty = true // truncated tail record: skipped, not fatal
-			break
-		}
-		line := data[:nl]
-		data = data[nl+1:]
-		var rec record
-		if jsonErr := json.Unmarshal(line, &rec); jsonErr != nil || !validMetrics(rec.Met) {
-			// Corrupt record: everything from here on is unreliable (a torn
-			// write may have displaced the framing). Keep the valid prefix.
+		rec, n, ok := decodeRecord(data)
+		if !ok {
+			// Torn or corrupt record: everything from here on is unreliable
+			// (the framing after a bad length prefix is gone). Keep the
+			// valid prefix; the rewrite below repairs the file.
 			dirty = true
 			break
 		}
+		data = data[n:]
 		p.total++
 		if rec.FP == fp {
 			p.index[rec.Key] = rec.Met
 		}
 	}
-	// Repair torn tails and drop majority-garbage segments before opening
-	// for append.
-	if dirty || p.garbage() > len(p.index) {
+	// Repair torn tails; otherwise leave the segment alone unless enough of
+	// it is garbage (superseded values, foreign fingerprints) to be worth a
+	// rewrite — a warm open of a clean store must not rewrite anything.
+	if dirty || p.garbage()*compactGarbageDenom > p.total {
 		if err := p.rewrite(fp); err != nil {
 			return nil, err
 		}
@@ -299,15 +327,11 @@ func (p *partition) rewrite(fp string) error {
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	var buf bytes.Buffer
+	var buf []byte
 	for key, met := range p.index {
-		if err := appendRecord(&buf, record{FP: fp, Key: key, Met: met}); err != nil {
-			f.Close()
-			os.Remove(tmp)
-			return err
-		}
+		buf = appendRecord(buf, record{FP: fp, Key: key, Met: met})
 	}
-	if _, err := f.Write(buf.Bytes()); err == nil {
+	if _, err := f.Write(buf); err == nil {
 		err = f.Sync()
 	}
 	if err != nil {
@@ -340,38 +364,12 @@ func (p *partition) reopen() error {
 	return nil
 }
 
-func appendRecord(buf *bytes.Buffer, rec record) error {
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("store: marshal record: %w", err)
-	}
-	buf.Write(b)
-	buf.WriteByte('\n')
-	return nil
-}
-
-// part routes a key to its partition by content hash. The hash covers every
-// key field, so the mapping is stable across processes and hosts — the
-// property a key-range-sharded remote store needs.
+// part routes a key to its partition by content hash (engine.Key.Hash: the
+// hash covers every key field, so the mapping is stable across processes
+// and hosts — the property a key-range-sharded remote store needs — and
+// allocation-free, so routing costs nothing on the lookup path).
 func (s *Store) part(key engine.Key) *partition {
-	h := fnv.New64a()
-	h.Write([]byte(key.Backend))
-	var scratch [8 * 6]byte
-	vals := [...]uint64{
-		math.Float64bits(key.Config.Tau0),
-		math.Float64bits(key.Config.VDAC0),
-		math.Float64bits(key.Config.VDACFS),
-		uint64(key.Cond.Corner),
-		math.Float64bits(key.Cond.VDD),
-		math.Float64bits(key.Cond.TempC),
-	}
-	for i, v := range vals {
-		for b := 0; b < 8; b++ {
-			scratch[i*8+b] = byte(v >> (8 * b))
-		}
-	}
-	h.Write(scratch[:])
-	return s.parts[h.Sum64()%uint64(len(s.parts))]
+	return s.parts[key.Hash()%uint64(len(s.parts))]
 }
 
 // Get implements engine.Store: an in-memory index lookup, fingerprint
@@ -396,31 +394,56 @@ func (s *Store) PutBatch(entries []engine.CacheEntry) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	groups := make(map[*partition][]engine.CacheEntry)
-	for _, ent := range entries {
-		p := s.part(ent.Key)
-		groups[p] = append(groups[p], ent)
+	nparts := uint64(len(s.parts))
+	if len(entries) == 1 {
+		return s.parts[entries[0].Key.Hash()%nparts].append(s.fp, entries)
+	}
+	// Bucket by partition into one exactly-sized backing array: a counting
+	// pass, prefix sums, then stable placement. Entries keep their input
+	// order within each partition, so duplicate keys in one batch resolve
+	// last-wins exactly as looped Puts would.
+	counts := make([]int, len(s.parts)+1)
+	for i := range entries {
+		counts[entries[i].Key.Hash()%nparts+1]++
+	}
+	for i := 1; i < len(counts); i++ {
+		counts[i] += counts[i-1]
+	}
+	offs := append([]int(nil), counts...)
+	backing := make([]engine.CacheEntry, len(entries))
+	for i := range entries {
+		p := entries[i].Key.Hash() % nparts
+		backing[counts[p]] = entries[i]
+		counts[p]++
 	}
 	var firstErr error
-	for p, ents := range groups {
-		if err := p.append(s.fp, ents); err != nil && firstErr == nil {
+	for i, p := range s.parts {
+		group := backing[offs[i]:offs[i+1]]
+		if len(group) == 0 {
+			continue
+		}
+		if err := p.append(s.fp, group); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
-// append writes a group of records to one segment under its lock.
+// append writes a group of records to one segment under its lock. The
+// group is encoded outside the lock into one exactly-sized buffer, so the
+// segment sees a single write syscall per batch.
 func (p *partition) append(fp string, ents []engine.CacheEntry) error {
-	var buf bytes.Buffer
+	size := 0
+	for i := range ents {
+		size += recordHeaderLen + recordBodyFixedLen + len(fp) + len(ents[i].Key.Backend)
+	}
+	buf := make([]byte, 0, size)
 	for _, ent := range ents {
-		if err := appendRecord(&buf, record{FP: fp, Key: ent.Key, Met: ent.Met}); err != nil {
-			return err
-		}
+		buf = appendRecord(buf, record{FP: fp, Key: ent.Key, Met: ent.Met})
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if _, err := p.file.Write(buf.Bytes()); err != nil {
+	if _, err := p.file.Write(buf); err != nil {
 		return fmt.Errorf("store: append: %w", err)
 	}
 	for _, ent := range ents {

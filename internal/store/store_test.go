@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -88,7 +89,7 @@ func TestRoundTripReopen(t *testing.T) {
 // segments returns the non-empty segment files of a store directory.
 func segments(t *testing.T, dir string) []string {
 	t.Helper()
-	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	paths, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +116,14 @@ func TestTruncatedTailRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Tear the log two ways: append a partial record (no newline) to one
-	// segment — a crash mid-append — and chop bytes off the end of another,
-	// destroying its final record.
+	// Tear the log two ways: append a partial record (a length prefix
+	// promising more body than follows) to one segment — a crash
+	// mid-append — and chop bytes off the end of another, destroying its
+	// final record.
 	segs := segments(t, dir)
-	appendBytes(t, segs[0], []byte(`{"fp":"fp-a","key":{"Backend":"torn`))
+	torn := make([]byte, recordHeaderLen+10)
+	binary.LittleEndian.PutUint32(torn, uint32(recordBodyFixedLen+20))
+	appendBytes(t, segs[0], torn)
 	var chopped string
 	if len(segs) > 1 {
 		chopped = segs[len(segs)-1]
@@ -520,7 +524,7 @@ func TestRetentionEvictsOldestSegments(t *testing.T) {
 
 	// Spread the segment mtimes so "oldest" is well-defined and newest-last
 	// is deterministic: seg-00 oldest … seg-15 newest.
-	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -646,7 +650,7 @@ func TestRetentionEvictsAgedSegments(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -729,7 +733,7 @@ func TestRetentionAgeDisabledByDefault(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
 	if err != nil {
 		t.Fatal(err)
 	}
