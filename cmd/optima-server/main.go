@@ -1,0 +1,303 @@
+// Command optima-server is the exploration-as-a-service frontend: a
+// long-lived HTTP server over the evaluation stack. Clients create
+// sessions, submit sweep / adaptive-search / condition-matrix jobs as
+// JSON, and follow live progress over WebSocket; all sessions share one
+// evaluation engine and persistent store, so overlapping submissions
+// from different users dedupe instead of re-evaluating.
+//
+// Usage:
+//
+//	optima-server [-addr :8080] [-model in.json] [-quick] [-workers N]
+//	              [-backend B] [-conditions set]
+//	              [-cache-dir dir] [-cache-max-bytes N] [-cache-max-age D]
+//	optima-server -smoke
+//
+// The flags mirror the optima CLI: -backend selects the default
+// evaluation backend, -conditions the server-wide operating-condition
+// set (per-job overrides are accepted in the job request), -cache-dir
+// roots the persistent result store shared by every session. SIGINT and
+// SIGTERM drain gracefully: submissions are refused, running jobs get 30
+// seconds to finish before cancellation, and the store is flushed.
+//
+// -smoke runs a self-check instead of serving: an ephemeral server on
+// 127.0.0.1, one session, one small behavioral sweep job, the WebSocket
+// stream followed to its terminal "done" event, then a clean shutdown.
+// CI runs it to gate the serving path end to end.
+//
+// See the README's "optima-server" section for the endpoint table, the
+// session semantics and the WebSocket event schema.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"optima/internal/core"
+	"optima/internal/engine"
+	"optima/internal/exp"
+	"optima/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "optima-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("optima-server", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	modelPath := fs.String("model", "", "load a calibrated model instead of recalibrating")
+	quick := fs.Bool("quick", false, "use the reduced calibration grids")
+	workers := fs.Int("workers", 0, "total evaluation worker budget (0 = all CPUs)")
+	backend := fs.String("backend", engine.BackendBehavioral,
+		"default evaluation backend: behavioral or golden (jobs may override)")
+	conditions := fs.String("conditions", "",
+		"server-wide operating condition set: comma-separated CORNER@<vdd>V@<temp>C entries (empty = nominal only)")
+	cacheDir := fs.String("cache-dir", "",
+		"persist evaluation results in this directory (shared by all sessions and across restarts)")
+	cacheMax := fs.Int64("cache-max-bytes", 0,
+		"evict least-recently-written cache segments beyond this size at startup (0 = unlimited)")
+	cacheAge := fs.Duration("cache-max-age", 0,
+		"evict cache segments older than this at startup (e.g. 720h; 0 = unlimited)")
+	smoke := fs.Bool("smoke", false,
+		"run the serving-path self-check (ephemeral port, one sweep job, WebSocket to done) and exit")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	if *smoke {
+		// The smoke check pins its own fast settings; the flags above
+		// configure the serving mode only.
+		return runSmoke()
+	}
+
+	ctx, err := makeContext(*modelPath, *quick, *workers, *backend, *conditions,
+		*cacheDir, *cacheMax, *cacheAge)
+	if err != nil {
+		return err
+	}
+	srv := server.New(ctx)
+	// Build the engine (and open the store) before accepting traffic, so
+	// a bad cache directory is reported at startup, not on the first job.
+	ctx.Engine()
+	if err := ctx.StoreError(); err != nil {
+		fmt.Fprintf(os.Stderr, "optima-server: warning: %v\n", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("optima-server: serving on %s (backend %s, %d workers)\n",
+		ln.Addr(), ctx.Engine().Backend().Name(), ctx.Engine().Workers())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("optima-server: %v: draining (running jobs get 30s)\n", s)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "optima-server: http shutdown: %v\n", err)
+	}
+	return srv.Shutdown(shutCtx)
+}
+
+// makeContext mirrors the optima CLI's context construction.
+func makeContext(modelPath string, quick bool, workers int, backend, conditions, cacheDir string, cacheMax int64, cacheAge time.Duration) (*exp.Context, error) {
+	if err := engine.ValidateBackendName(backend); err != nil {
+		return nil, err
+	}
+	var conds engine.ConditionSet
+	if conditions != "" {
+		var err error
+		if conds, err = engine.ParseConditionSet(conditions); err != nil {
+			return nil, err
+		}
+	}
+	calib := core.DefaultCalibration()
+	if quick {
+		calib = core.QuickCalibration()
+	}
+	var ctx *exp.Context
+	if modelPath != "" {
+		if m, err := core.LoadModel(modelPath); err == nil {
+			fmt.Printf("optima-server: loaded model from %s\n", modelPath)
+			ctx = exp.NewContextWithModel(m, calib.Tech)
+		} else {
+			fmt.Printf("optima-server: model %s not found; calibrating\n", modelPath)
+		}
+	}
+	if ctx == nil {
+		start := time.Now()
+		var err error
+		ctx, err = exp.NewContext(calib)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("optima-server: calibrated in %v: %v\n", time.Since(start), ctx.Model.Report)
+	}
+	ctx.Backend = backend
+	ctx.Conditions = conds
+	ctx.Workers = workers
+	ctx.CacheDir = cacheDir
+	ctx.CacheMaxBytes = cacheMax
+	ctx.CacheMaxAge = cacheAge
+	return ctx, nil
+}
+
+// runSmoke gates the serving path end to end: ephemeral listener, one
+// session, one small behavioral sweep, WebSocket followed to the terminal
+// event, graceful shutdown. Any deviation is a non-zero exit.
+func runSmoke() error {
+	ctx, err := exp.NewContext(core.QuickCalibration())
+	if err != nil {
+		return err
+	}
+	srv := server.New(ctx)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("optima-server: smoke on %s\n", base)
+
+	// Session.
+	var sess struct {
+		ID string `json:"id"`
+	}
+	if err := postJSON(base+"/api/sessions", nil, &sess); err != nil {
+		return fmt.Errorf("create session: %w", err)
+	}
+
+	// A small behavioral sweep: 4 × 2 × 2 corners at the nominal condition.
+	req := map[string]any{
+		"kind":   "sweep",
+		"tau0":   "0.16:0.28:4",
+		"vdac0":  "0.3,0.4",
+		"vdacfs": "0.8,1.0",
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := postJSON(base+"/api/sessions/"+sess.ID+"/jobs", req, &job); err != nil {
+		return fmt.Errorf("submit sweep: %w", err)
+	}
+
+	// Follow the stream to the terminal event.
+	ws, err := server.DialWS(base + "/api/sessions/" + sess.ID + "/jobs/" + job.ID + "/ws")
+	if err != nil {
+		return fmt.Errorf("dial ws: %w", err)
+	}
+	defer ws.Close()
+	deadline := time.After(60 * time.Second)
+	terminal := ""
+	for terminal == "" {
+		select {
+		case <-deadline:
+			return fmt.Errorf("no terminal event within 60s")
+		default:
+		}
+		msg, err := ws.ReadMessage()
+		if err != nil {
+			return fmt.Errorf("ws read: %w", err)
+		}
+		var ev server.Event
+		if err := json.Unmarshal(msg, &ev); err != nil {
+			return fmt.Errorf("ws event: %w", err)
+		}
+		fmt.Printf("optima-server: event %s\n", msg)
+		switch ev.Type {
+		case server.EventDone, server.EventFailed, server.EventCanceled:
+			terminal = ev.Type
+		}
+	}
+	if terminal != server.EventDone {
+		return fmt.Errorf("job ended %s, want done", terminal)
+	}
+
+	// The job record must agree and carry the result.
+	var st server.JobStatus
+	if err := getJSON(base+"/api/sessions/"+sess.ID+"/jobs/"+job.ID, &st); err != nil {
+		return err
+	}
+	if st.State != server.JobDone || len(st.Result) == 0 {
+		return fmt.Errorf("job state %s with %d result bytes, want done with a result", st.State, len(st.Result))
+	}
+	var res server.SweepResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		return err
+	}
+	if len(res.Points) == 0 {
+		return fmt.Errorf("sweep returned no points")
+	}
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	fmt.Printf("optima-server: smoke ok (%d sweep points)\n", len(res.Points))
+	return nil
+}
+
+func postJSON(url string, body any, out any) error {
+	var rd *bytes.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	resp, err := http.Post(url, "application/json", rd)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,59 +1,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 	"time"
 
 	"optima/internal/engine"
 	"optima/internal/report"
 	"optima/internal/search"
 )
-
-// parseAxis turns a CLI axis spec into a search.Axis. Two forms:
-//
-//	min:max:steps[:log]   a materialized range, e.g. "0.16:0.28:100"
-//	v1,v2,...             explicit values, e.g. "0.3,0.4,0.5"
-//
-// scale converts the user unit into SI (ns → s for τ0, 1 for volts).
-func parseAxis(name, spec string, scale float64) (search.Axis, error) {
-	if strings.Contains(spec, ",") {
-		var vals []float64
-		for _, f := range strings.Split(spec, ",") {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return search.Axis{}, fmt.Errorf("axis %s: bad value %q", name, f)
-			}
-			vals = append(vals, v*scale)
-		}
-		a := search.ValuesAxis(name, vals...)
-		return a, a.Validate()
-	}
-	parts := strings.Split(spec, ":")
-	if len(parts) != 3 && !(len(parts) == 4 && parts[3] == "log") {
-		return search.Axis{}, fmt.Errorf("axis %s: want min:max:steps[:log] or a comma list, got %q", name, spec)
-	}
-	min, err := strconv.ParseFloat(parts[0], 64)
-	if err != nil {
-		return search.Axis{}, fmt.Errorf("axis %s: bad min %q", name, parts[0])
-	}
-	max, err := strconv.ParseFloat(parts[1], 64)
-	if err != nil {
-		return search.Axis{}, fmt.Errorf("axis %s: bad max %q", name, parts[1])
-	}
-	steps, err := strconv.Atoi(parts[2])
-	if err != nil {
-		return search.Axis{}, fmt.Errorf("axis %s: bad steps %q", name, parts[2])
-	}
-	a := search.LinAxis(name, min*scale, max*scale, steps)
-	a.Log = len(parts) == 4
-	return a, a.Validate()
-}
 
 func runSearch(args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
@@ -77,15 +36,8 @@ func runSearch(args []string) error {
 		return err
 	}
 
-	space := search.Space{}
-	var err error
-	if space.Tau0, err = parseAxis("tau0", *tau0, 1e-9); err != nil {
-		return err
-	}
-	if space.VDAC0, err = parseAxis("vdac0", *vdac0, 1); err != nil {
-		return err
-	}
-	if space.VDACFS, err = parseAxis("vdacfs", *vdacfs, 1); err != nil {
+	space, err := search.ParseSpaceSpec(*tau0, *vdac0, *vdacfs)
+	if err != nil {
 		return err
 	}
 
@@ -117,7 +69,7 @@ func runSearch(args []string) error {
 
 	robust := opts.Conditions.Len() > 1
 	start := time.Now()
-	res, err := search.Run(opts)
+	res, err := search.Run(context.Background(), opts)
 	if err != nil {
 		return err
 	}
@@ -184,14 +136,10 @@ func runSearch(args []string) error {
 
 // writeSearchJSON persists the machine-readable report: the final front,
 // the per-rung evaluation trace, and — in robust mode — the finalists'
-// cross-condition summaries.
+// cross-condition summaries. The schema (search.JSONReport) is shared with
+// the optima-server's search jobs.
 func writeSearchJSON(path string, res *search.Result) error {
-	data, err := json.MarshalIndent(struct {
-		Front     []search.FrontPoint  `json:"front"`
-		Finalists int                  `json:"finalists"`
-		Robust    []search.RobustPoint `json:"robust,omitempty"`
-		Trace     search.Trace         `json:"trace"`
-	}{search.FrontPoints(res.Front), len(res.Finalists), search.RobustPoints(res.Robust), res.Trace}, "", "  ")
+	data, err := json.MarshalIndent(search.NewJSONReport(res), "", "  ")
 	if err != nil {
 		return err
 	}

@@ -45,4 +45,15 @@
 // input-order reduction), so caching stays sound.
 // Command-line tools under cmd/ and the benchmarks in bench_test.go
 // regenerate every table and figure of the paper's evaluation.
+//
+// internal/server exposes the exploration stack as a long-lived service
+// (the optima-server command): sessions own at most one active operation,
+// submit sweep / search / condition-matrix jobs over a JSON HTTP API, and
+// stream ordered progress, rung, and terminal events over a hand-rolled
+// RFC 6455 WebSocket layer (stdlib only). Every session shares the one
+// exp.Context engine and store, so overlapping jobs from different
+// clients dedupe per cell, cancellation (DELETE, teardown, or shutdown
+// drain) abandons only unstarted work without memoizing it, and results
+// reuse the search package's JSON report shapes — byte-identical to the
+// optima search CLI at any worker count.
 package optima

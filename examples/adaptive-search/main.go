@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -42,7 +43,7 @@ func main() {
 	golden := engine.New(engine.NewGoldenBackend(calib.Tech, spice.DefaultConfig()), 0)
 
 	start := time.Now()
-	res, err := search.Run(search.Options{
+	res, err := search.Run(context.Background(), search.Options{
 		Space:     space,
 		Screen:    screen,
 		Final:     golden,

@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"optima/internal/device"
+	"optima/internal/mult"
+)
+
+// gateBackend blocks every evaluation on a release gate and signals the
+// first start, so tests can cancel a batch while work is verifiably in
+// flight.
+type gateBackend struct {
+	fakeBackend
+	started chan struct{} // one buffered token per evaluation start
+	release chan struct{} // closed to let evaluations finish
+}
+
+func newGateBackend() *gateBackend {
+	return &gateBackend{
+		started: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gateBackend) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	<-g.release
+	return g.fakeBackend.Evaluate(cfg, cond)
+}
+
+// TestEvaluateBatchCancellation exercises the contract a canceled server
+// job depends on: in-flight evaluations complete and stay cached,
+// unstarted ones are abandoned WITHOUT memoizing the cancellation, and a
+// rerun finishes the remainder — every corner evaluated exactly once
+// across both runs.
+func TestEvaluateBatchCancellation(t *testing.T) {
+	gate := newGateBackend()
+	eng := New(gate, 2)
+	jobs := testJobs(12)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		mets []Metrics
+		err  error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		mets, err := eng.EvaluateBatchOpts(jobs, BatchOptions{Ctx: ctx})
+		res <- outcome{mets, err}
+	}()
+
+	<-gate.started // at least one evaluation is on the backend
+	cancel()
+	close(gate.release)
+	out := <-res
+	if !errors.Is(out.err, context.Canceled) {
+		t.Fatalf("canceled batch returned %v, want context.Canceled", out.err)
+	}
+
+	ran := gate.evals.Load()
+	if ran < 1 || ran >= 12 {
+		t.Fatalf("canceled batch ran %d evaluations, want some but not all of 12", ran)
+	}
+	st := eng.Stats()
+	if st.Misses != uint64(ran) {
+		t.Fatalf("misses %d after cancellation, want %d (only jobs that ran)", st.Misses, ran)
+	}
+	if st.Entries != int(ran) {
+		t.Fatalf("%d cache entries after cancellation, want %d — abandoned claims must be released", st.Entries, ran)
+	}
+
+	// The rerun must not see memoized cancellations: it completes, serving
+	// finished work from the cache and evaluating only the abandoned rest.
+	mets, err := eng.EvaluateBatchOpts(jobs, BatchOptions{})
+	if err != nil {
+		t.Fatalf("rerun after cancellation: %v", err)
+	}
+	if len(mets) != 12 {
+		t.Fatalf("rerun returned %d results, want 12", len(mets))
+	}
+	if total := gate.evals.Load(); total != 12 {
+		t.Fatalf("%d backend evaluations across both runs, want exactly 12", total)
+	}
+	st = eng.Stats()
+	if st.Misses != 12 || st.Hits != uint64(ran) {
+		t.Fatalf("stats %+v after rerun, want 12 misses / %d hits", st, ran)
+	}
+}
+
+func TestEvaluateBatchPreCanceled(t *testing.T) {
+	fake := &fakeBackend{}
+	eng := New(fake, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.EvaluateBatchOpts(testJobs(4), BatchOptions{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled batch returned %v, want context.Canceled", err)
+	}
+	if n := fake.evals.Load(); n != 0 {
+		t.Fatalf("pre-canceled batch ran %d evaluations, want 0", n)
+	}
+	if st := eng.Stats(); st.Entries != 0 || st.Misses != 0 {
+		t.Fatalf("pre-canceled batch left stats %+v, want nothing claimed", st)
+	}
+}
+
+func TestEvaluateBatchProgress(t *testing.T) {
+	fake := &fakeBackend{}
+	eng := New(fake, 4)
+	jobs := testJobs(10)
+
+	var mu sync.Mutex
+	var calls [][2]int
+	record := func(done, total int) {
+		mu.Lock()
+		calls = append(calls, [2]int{done, total})
+		mu.Unlock()
+	}
+
+	if _, err := eng.EvaluateBatchOpts(jobs, BatchOptions{OnProgress: record}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Fatal("no progress calls on a cold batch")
+	}
+	prev := 0
+	for _, c := range calls {
+		if c[1] != 10 {
+			t.Fatalf("progress total %d, want 10", c[1])
+		}
+		if c[0] <= prev {
+			t.Fatalf("progress done not monotone: %v", calls)
+		}
+		prev = c[0]
+	}
+	if prev != 10 {
+		t.Fatalf("final progress %d, want 10", prev)
+	}
+
+	// A fully warm batch resolves everything up front: one call, complete.
+	calls = nil
+	if _, err := eng.EvaluateBatchOpts(jobs, BatchOptions{OnProgress: record}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != [2]int{10, 10} {
+		t.Fatalf("warm batch progress %v, want a single (10, 10)", calls)
+	}
+}

@@ -216,13 +216,20 @@ func MatrixJobs(cfgs []mult.Config, conds ConditionSet) []Job {
 // serially. Each (config, condition) cell keeps its independent cache key,
 // so partial overlap with earlier work (any tier) is served, not recomputed.
 func (e *Engine) EvaluateMatrix(cfgs []mult.Config, conds ConditionSet) (*Matrix, error) {
+	return e.EvaluateMatrixOpts(cfgs, conds, BatchOptions{})
+}
+
+// EvaluateMatrixOpts is EvaluateMatrix with a cancellation context and a
+// per-cell progress callback (BatchOptions): done/total count resolved
+// (config, condition) cells of the plane.
+func (e *Engine) EvaluateMatrixOpts(cfgs []mult.Config, conds ConditionSet, opts BatchOptions) (*Matrix, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("engine: matrix with no configurations")
 	}
 	if conds.Len() == 0 {
 		return nil, fmt.Errorf("engine: matrix with an empty condition set")
 	}
-	mets, err := e.EvaluateBatch(MatrixJobs(cfgs, conds))
+	mets, err := e.EvaluateBatchOpts(MatrixJobs(cfgs, conds), opts)
 	if err != nil {
 		return nil, err
 	}

@@ -52,9 +52,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"optima/internal/device"
 	"optima/internal/mult"
@@ -104,20 +106,22 @@ type Store interface {
 	PutBatch([]CacheEntry) error
 }
 
-// Stats reports the engine's cache accounting.
+// Stats reports the engine's cache accounting. The JSON tags make a
+// snapshot (or a Sub delta) directly reportable over an API — per-job
+// evaluated / cache-hit / store-hit counts without string-parsing String.
 type Stats struct {
 	// Hits counts evaluations served from the in-memory tier (including
 	// waits on an in-flight computation of the same key).
-	Hits uint64
+	Hits uint64 `json:"cache_hits"`
 	// DiskHits counts evaluations served from the persistent store tier.
-	DiskHits uint64
+	DiskHits uint64 `json:"store_hits"`
 	// Misses counts evaluations that ran the backend.
-	Misses uint64
+	Misses uint64 `json:"evaluated"`
 	// StoreErrors counts failed persistence attempts (the result is still
 	// returned and cached in memory; the store write is best-effort).
-	StoreErrors uint64
+	StoreErrors uint64 `json:"store_errors"`
 	// Entries is the number of distinct results held in memory.
-	Entries int
+	Entries int `json:"entries"`
 }
 
 // String renders the accounting for log lines. The store clauses appear
@@ -320,6 +324,35 @@ func (e *Engine) persist(batch []CacheEntry) {
 	}
 }
 
+// BatchOptions configures one batched submission beyond its job list. The
+// zero value reproduces plain EvaluateBatch: background context, no
+// progress reporting.
+type BatchOptions struct {
+	// Ctx, when non-nil, cancels the submission: jobs that have not started
+	// when the context is done are abandoned — their claims are released
+	// from the cache (a cancellation is never memoized) — and the batch
+	// returns the context's error. Evaluations already running on the
+	// backend complete normally and their results are cached and persisted,
+	// so a canceled sweep's finished work stays warm for a rerun.
+	Ctx context.Context
+	// OnProgress, when non-nil, is called as the batch's cells resolve, with
+	// the resolved count so far and the batch size. Cells this batch does
+	// not compute itself (memory or store tier, duplicates, keys claimed by
+	// a concurrent submission) are reported resolved up front; each backend
+	// completion then advances the count by one. Calls are serialized and
+	// done is monotone, but they arrive from worker goroutines — keep the
+	// callback fast and do not submit engine work from it.
+	OnProgress func(done, total int)
+}
+
+// ctx returns the submission's context, defaulting to Background.
+func (o BatchOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
 // EvaluateBatch is the batched submission path: it claims every distinct
 // missing key of the batch in one pass (amortizing per-job lock traffic),
 // consults the store tier once per key, fans the remaining evaluations out
@@ -330,8 +363,46 @@ func (e *Engine) persist(batch []CacheEntry) {
 // returned error; unlike a plain loop over Evaluate, the batch runs to
 // completion so every claimed key ends up resolved.
 func (e *Engine) EvaluateBatch(jobs []Job) ([]Metrics, error) {
+	return e.EvaluateBatchOpts(jobs, BatchOptions{})
+}
+
+// abandon resolves a claimed entry without evaluating it — the submission
+// was canceled before the job started. The claim is released from the
+// cache so the cancellation is not memoized: a later submission of the key
+// claims it afresh and evaluates normally. Waiters already holding the
+// entry observe the cancellation error.
+func (e *Engine) abandon(key Key, ent *entry, cause error) {
+	e.mu.Lock()
+	if e.cache[key] == ent {
+		delete(e.cache, key)
+	}
+	e.mu.Unlock()
+	ent.err = cause
+	close(ent.done)
+}
+
+// EvaluateBatchOpts is EvaluateBatch with a cancellation context and a
+// per-cell progress callback (BatchOptions). It is the submission path of
+// the exploration layers that must stay interruptible and observable — the
+// adaptive search's rungs and the optima-server's jobs.
+func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, error) {
 	if len(jobs) == 0 {
 		return nil, nil
+	}
+	ctx := opts.ctx()
+	if err := ctx.Err(); err != nil {
+		return nil, err // canceled before anything was claimed
+	}
+	var progMu sync.Mutex
+	resolved := 0
+	advance := func(n int) {
+		if opts.OnProgress == nil || n == 0 {
+			return
+		}
+		progMu.Lock()
+		resolved += n
+		opts.OnProgress(resolved, len(jobs))
+		progMu.Unlock()
 	}
 	bname := e.backend.Name()
 
@@ -360,12 +431,18 @@ func (e *Engine) EvaluateBatch(jobs []Job) ([]Metrics, error) {
 	e.mu.Unlock()
 
 	// Phase 2: store tier. The index lookup is memory-speed, so this stays
-	// serial; only true misses proceed to the backend.
+	// serial; only true misses proceed to the backend. A cancellation here
+	// stops the lookups — the remaining keys fall through to phase 3, which
+	// abandons them.
 	toRun := ownedKeys
 	if store != nil && len(ownedKeys) > 0 {
 		toRun = toRun[:0]
 		var fromDisk uint64
-		for _, key := range ownedKeys {
+		for n, key := range ownedKeys {
+			if ctx.Err() != nil {
+				toRun = append(toRun, ownedKeys[n:]...)
+				break
+			}
 			if met, ok := store.Get(key); ok {
 				ent := owned[key]
 				ent.met = met
@@ -381,26 +458,44 @@ func (e *Engine) EvaluateBatch(jobs []Job) ([]Metrics, error) {
 			e.mu.Unlock()
 		}
 	}
+	// Everything the batch does not compute itself — memory and store hits,
+	// duplicates, keys in flight under a concurrent submission — is resolved
+	// from this batch's point of view.
+	advance(len(jobs) - len(toRun))
 
 	// Phase 3: backend fan-out over the remaining keys. Every entry is
-	// resolved (results and errors both — panics included), so concurrent
-	// waiters never hang. The worker budget is split between job-level
-	// fan-out and the per-job intra budget of IntraBackend backends.
+	// resolved (results and errors both — panics and cancellations
+	// included), so concurrent waiters never hang. The worker budget is
+	// split between job-level fan-out and the per-job intra budget of
+	// IntraBackend backends.
 	if len(toRun) > 0 {
-		e.mu.Lock()
-		e.misses += uint64(len(toRun))
-		e.mu.Unlock()
 		jobWorkers, intra, extra := e.splitBudget(len(toRun))
+		var ran atomic.Uint64
 		_, _ = sched.Map(jobWorkers, toRun, func(i int, key Key) (struct{}, error) {
-			grant := intra
-			if i < extra {
-				grant++
+			if err := ctx.Err(); err != nil {
+				e.abandon(key, owned[key], err)
+			} else {
+				ran.Add(1)
+				grant := intra
+				if i < extra {
+					grant++
+				}
+				e.runClaimed(owned[key], key, grant)
 			}
-			e.runClaimed(owned[key], key, grant)
+			advance(1)
 			return struct{}{}, nil
 		})
-		// Phase 4: persist the new results in one group.
-		if store != nil {
+		// Only jobs that reached the backend are misses — abandoned jobs
+		// were neither served nor evaluated.
+		if n := ran.Load(); n > 0 {
+			e.mu.Lock()
+			e.misses += n
+			e.mu.Unlock()
+		}
+		// Phase 4: persist the new results in one group. Abandoned entries
+		// carry the cancellation error and are skipped, so a canceled batch
+		// persists exactly the work it finished.
+		if store != nil && ran.Load() > 0 {
 			batch := make([]CacheEntry, 0, len(toRun))
 			for _, key := range toRun {
 				if ent := owned[key]; ent.err == nil {

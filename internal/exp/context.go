@@ -68,6 +68,7 @@ type Context struct {
 	engOnce      sync.Once
 	eng          *engine.Engine
 	resultStore  *store.Store
+	storeErr     error
 	cpuFile      *os.File
 	selection    *dse.Selection
 	sweepMetrics []dse.Metrics
@@ -129,7 +130,12 @@ func (c *Context) Engine() *engine.Engine {
 				MaxAge:      c.CacheMaxAge,
 			})
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "exp: persistent result store disabled: %v\n", err)
+				// Degrade to the memory-only cache but keep the cause: a
+				// long-lived server must be able to report that it is
+				// running without persistence (StoreError), not just log
+				// once at startup.
+				c.storeErr = fmt.Errorf("persistent result store disabled: %w", err)
+				fmt.Fprintf(os.Stderr, "exp: %v\n", c.storeErr)
 				return
 			}
 			c.resultStore = st
@@ -191,6 +197,12 @@ func (c *Context) ConditionSet() engine.ConditionSet {
 // Store returns the session's persistent result store, or nil when CacheDir
 // is unset (or the store failed to open). Valid after the first Engine call.
 func (c *Context) Store() *store.Store { return c.resultStore }
+
+// StoreError reports why the session has no persistent store: non-nil when
+// CacheDir was set but the store failed to open, in which case the session
+// degraded to the memory-only cache. Valid after the first Engine call.
+// Operators of a long-lived session see it on the server's GET /api/status.
+func (c *Context) StoreError() error { return c.storeErr }
 
 // Close finishes the session: any running CPU profile is stopped and the
 // heap profile written (profile.go), then the persistent result store, if

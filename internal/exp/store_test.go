@@ -3,6 +3,7 @@ package exp
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"optima/internal/device"
@@ -177,6 +178,11 @@ func TestStoreOpenFailureDegrades(t *testing.T) {
 	}
 	if ctx.Store() != nil {
 		t.Fatal("store unexpectedly attached")
+	}
+	// The cause stays queryable for long-lived callers (optima-server
+	// reports it on /api/status), not just logged once at startup.
+	if err := ctx.StoreError(); err == nil || !strings.Contains(err.Error(), "persistent result store disabled") {
+		t.Fatalf("StoreError() = %v, want the disabled-store cause", err)
 	}
 	if st := ctx.Engine().Stats(); st.Misses != 48 {
 		t.Fatalf("memory-only session stats %+v", st)

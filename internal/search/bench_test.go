@@ -1,6 +1,7 @@
 package search_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -20,7 +21,7 @@ func BenchmarkSearchAdaptive(b *testing.B) {
 
 	b.Run("cold/1200-corners", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := search.Run(search.Options{
+			res, err := search.Run(context.Background(), search.Options{
 				Space:  sp,
 				Screen: engine.New(engine.Behavioral{Model: m}, runtime.NumCPU()),
 				Rungs:  2,
@@ -37,12 +38,12 @@ func BenchmarkSearchAdaptive(b *testing.B) {
 	b.Run("cached/1200-corners", func(b *testing.B) {
 		eng := engine.New(engine.Behavioral{Model: m}, runtime.NumCPU())
 		opts := search.Options{Space: sp, Screen: eng, Rungs: 2, Seed: 1}
-		if _, err := search.Run(opts); err != nil {
+		if _, err := search.Run(context.Background(), opts); err != nil {
 			b.Fatal(err) // warm the cache outside the timed loop
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := search.Run(opts); err != nil {
+			if _, err := search.Run(context.Background(), opts); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -5,6 +5,27 @@ import (
 	"optima/internal/engine"
 )
 
+// JSONReport is the machine-readable report of a search run — the exact
+// shape `optima search` writes to search.json and the optima-server
+// returns as a search job's result, so the two surfaces stay
+// byte-identical for identical options.
+type JSONReport struct {
+	Front     []FrontPoint  `json:"front"`
+	Finalists int           `json:"finalists"`
+	Robust    []RobustPoint `json:"robust,omitempty"`
+	Trace     Trace         `json:"trace"`
+}
+
+// NewJSONReport builds the report from a search result.
+func NewJSONReport(res *Result) JSONReport {
+	return JSONReport{
+		Front:     FrontPoints(res.Front),
+		Finalists: len(res.Finalists),
+		Robust:    RobustPoints(res.Robust),
+		Trace:     res.Trace,
+	}
+}
+
 // FrontPoint is the machine-readable view of one Pareto-front member, in
 // the paper's reporting units (ns, V, LSB, fJ) — the JSON/CSV schema of the
 // `optima search` report.

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -57,6 +58,47 @@ type Options struct {
 	// Seed drives candidate sampling and refinement capping (any value is
 	// fine, including 0).
 	Seed uint64
+	// OnRung, when non-nil, is called after each rung completes — screening
+	// rungs in order, then the fidelity-promotion pass — with that rung's
+	// stats. It is the live-progress hook the optima-server streams over
+	// WebSocket. Called synchronously from Run; keep it fast.
+	OnRung func(RungStats)
+	// OnProgress, when non-nil, receives per-cell progress within a rung:
+	// rung is the rung index (the promotion pass reuses the next index, like
+	// RungStats.Rung), and done/total count resolved (config × condition)
+	// cells of the rung's batch. Calls are serialized per rung but arrive
+	// from engine worker goroutines; keep the callback fast.
+	OnProgress func(rung, done, total int)
+}
+
+// Validate checks the options for values a caller — the CLI flag layer or
+// the server's JSON decoding — may produce from untrusted input. Zero
+// values mean defaults (full space, DefaultRungs, DefaultEta, the last
+// rung's natural survivor count); negative values and sub-unity halving
+// ratios are rejected with descriptive errors rather than silently clamped
+// into a run the caller did not ask for. Run validates implicitly.
+func (o Options) Validate() error {
+	if o.Screen == nil {
+		return fmt.Errorf("search: Options.Screen engine is required")
+	}
+	if o.Budget < 0 {
+		return fmt.Errorf("search: budget %d must be >= 0 (0 means the full space)", o.Budget)
+	}
+	if o.Rungs < 0 {
+		return fmt.Errorf("search: rungs %d must be >= 0 (0 means the default %d)", o.Rungs, DefaultRungs)
+	}
+	if o.Finalists < 0 {
+		return fmt.Errorf("search: finalists %d must be >= 0 (0 means the last rung's survivor count)", o.Finalists)
+	}
+	if o.Eta != 0 {
+		if math.IsNaN(o.Eta) || math.IsInf(o.Eta, 0) {
+			return fmt.Errorf("search: non-finite halving ratio %v", o.Eta)
+		}
+		if o.Eta <= 1 {
+			return fmt.Errorf("search: halving ratio eta %v must exceed 1 (0 means the default %v)", o.Eta, DefaultEta)
+		}
+	}
+	return nil
 }
 
 // Defaults for Options.
@@ -154,24 +196,25 @@ type Result struct {
 
 // Run explores the space. See the package comment for the algorithm; the
 // result is deterministic for fixed Options regardless of the engines'
-// worker counts or an attached store's prior contents.
-func Run(opts Options) (*Result, error) {
-	if opts.Screen == nil {
-		return nil, fmt.Errorf("search: Options.Screen engine is required")
+// worker counts or an attached store's prior contents. Cancelling ctx
+// aborts the run between cells: evaluations already on a backend complete
+// (and persist, keeping the store consistent), unstarted ones are
+// abandoned, and Run returns the context's error — a rerun of the same
+// options resumes from the warm cache tiers.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	rungs := opts.Rungs
-	if rungs <= 0 {
+	if rungs == 0 {
 		rungs = DefaultRungs
 	}
 	eta := opts.Eta
 	if eta == 0 {
 		eta = DefaultEta
-	}
-	if eta <= 1 {
-		return nil, fmt.Errorf("search: halving ratio eta %v must exceed 1", eta)
-	}
-	if math.IsNaN(eta) || math.IsInf(eta, 0) {
-		return nil, fmt.Errorf("search: non-finite halving ratio %v", eta)
 	}
 	conds := opts.Conditions
 	if conds.Len() == 0 {
@@ -210,7 +253,13 @@ func Run(opts Options) (*Result, error) {
 	var survivorMets []dse.Metrics
 	var survivorRobust []dse.RobustMetrics
 	for r := 0; r < rungs; r++ {
-		mets, rms, stats, err := evaluateRung(opts.Screen, pool, conds, robust)
+		// The engine surfaces a cancellation that lands mid-batch; this
+		// check catches one landing between rungs, where a fully cached
+		// batch would otherwise let the run continue.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("search: %w", err)
+		}
+		mets, rms, stats, err := evaluateRung(ctx, opts.Screen, pool, conds, robust, r, opts.OnProgress)
 		if err != nil {
 			return nil, err
 		}
@@ -245,6 +294,9 @@ func Run(opts Options) (*Result, error) {
 		stats.Rung = r
 		stats.Promoted = keep
 		trace.Rungs = append(trace.Rungs, stats)
+		if opts.OnRung != nil {
+			opts.OnRung(stats)
+		}
 
 		if r == rungs-1 {
 			break
@@ -262,10 +314,13 @@ func Run(opts Options) (*Result, error) {
 
 	res := &Result{Trace: trace}
 	if opts.Final != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("search: %w", err)
+		}
 		// Promote the finalists to the final fidelity at EVERY condition of
 		// the set, so the robust ranking at the high fidelity sees the same
 		// excursions the screen ranked on.
-		fmets, frobust, stats, err := evaluateRung(opts.Final, survivors, conds, robust)
+		fmets, frobust, stats, err := evaluateRung(ctx, opts.Final, survivors, conds, robust, rungs, opts.OnProgress)
 		if err != nil {
 			return nil, err
 		}
@@ -273,6 +328,9 @@ func Run(opts Options) (*Result, error) {
 		stats.Final = true
 		stats.Promoted = len(fmets)
 		res.Trace.Rungs = append(res.Trace.Rungs, stats)
+		if opts.OnRung != nil {
+			opts.OnRung(stats)
+		}
 		res.Finalists = fmets
 		res.Robust = frobust
 	} else {
@@ -289,9 +347,13 @@ func Run(opts Options) (*Result, error) {
 // per-config metrics at the single condition of a nominal search, or the
 // worst-case composites (dse.RobustMetrics.Score) in robust mode — in which
 // case the full cross-condition summaries are returned alongside.
-func evaluateRung(eng *engine.Engine, pool []mult.Config, conds engine.ConditionSet, robust bool) ([]dse.Metrics, []dse.RobustMetrics, RungStats, error) {
+func evaluateRung(ctx context.Context, eng *engine.Engine, pool []mult.Config, conds engine.ConditionSet, robust bool, rung int, onProgress func(rung, done, total int)) ([]dse.Metrics, []dse.RobustMetrics, RungStats, error) {
+	bo := engine.BatchOptions{Ctx: ctx}
+	if onProgress != nil {
+		bo.OnProgress = func(done, total int) { onProgress(rung, done, total) }
+	}
 	pre := eng.Stats()
-	mat, err := eng.EvaluateMatrix(pool, conds)
+	mat, err := eng.EvaluateMatrixOpts(pool, conds, bo)
 	if err != nil {
 		return nil, nil, RungStats{}, fmt.Errorf("search: %w", err)
 	}

@@ -1,6 +1,7 @@
 package search_test
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"reflect"
@@ -208,14 +209,14 @@ func TestRunOptionValidation(t *testing.T) {
 	m := testModel(t)
 	eng := engine.New(engine.Behavioral{Model: m}, 1)
 	sp := search.FromGrid(dse.DefaultGrid())
-	if _, err := search.Run(search.Options{Space: sp}); err == nil {
+	if _, err := search.Run(context.Background(), search.Options{Space: sp}); err == nil {
 		t.Fatal("missing Screen engine: want error")
 	}
-	if _, err := search.Run(search.Options{Space: sp, Screen: eng, Eta: 1}); err == nil {
+	if _, err := search.Run(context.Background(), search.Options{Space: sp, Screen: eng, Eta: 1}); err == nil {
 		t.Fatal("eta <= 1: want error")
 	}
 	empty := search.Space{}
-	if _, err := search.Run(search.Options{Space: empty, Screen: eng}); err == nil {
+	if _, err := search.Run(context.Background(), search.Options{Space: empty, Screen: eng}); err == nil {
 		t.Fatal("invalid space: want error")
 	}
 }
@@ -259,7 +260,7 @@ func TestSearchAcceptance(t *testing.T) {
 		screen := engine.New(engine.Behavioral{Model: m}, 8).WithStore(st)
 		golden := &countingBackend{inner: engine.Behavioral{Model: m}, name: "golden"}
 		final := engine.New(golden, 8).WithStore(st)
-		res, err := search.Run(search.Options{
+		res, err := search.Run(context.Background(), search.Options{
 			Space:  sp,
 			Screen: screen,
 			Final:  final,
@@ -327,7 +328,7 @@ func TestSearchWorkerInvariance(t *testing.T) {
 	run := func(workers int) *search.Result {
 		screen := engine.New(engine.Behavioral{Model: m}, workers)
 		final := engine.New(&countingBackend{inner: engine.Behavioral{Model: m}, name: "golden"}, workers)
-		res, err := search.Run(search.Options{
+		res, err := search.Run(context.Background(), search.Options{
 			Space:  sp,
 			Screen: screen,
 			Final:  final,
@@ -353,7 +354,7 @@ func TestSearchBudgetSamplesSpace(t *testing.T) {
 	m := testModel(t)
 	sp := search.FromGrid(dse.DefaultGrid())
 	screen := engine.New(engine.Behavioral{Model: m}, 4)
-	res, err := search.Run(search.Options{
+	res, err := search.Run(context.Background(), search.Options{
 		Space:  sp,
 		Screen: screen,
 		Budget: 24,
@@ -384,7 +385,7 @@ func TestSearchRefineAddsCandidates(t *testing.T) {
 	m := testModel(t)
 	sp := search.FromGrid(dse.DefaultGrid())
 	screen := engine.New(engine.Behavioral{Model: m}, 4)
-	res, err := search.Run(search.Options{
+	res, err := search.Run(context.Background(), search.Options{
 		Space:  sp,
 		Screen: screen,
 		Rungs:  3,
@@ -423,7 +424,7 @@ func TestSearchFrontMatchesExhaustiveOnSmallSpace(t *testing.T) {
 	}
 	want := dse.ParetoFront(mets)
 
-	res, err := search.Run(search.Options{
+	res, err := search.Run(context.Background(), search.Options{
 		Space:  search.FromGrid(dse.DefaultGrid()),
 		Screen: engine.New(engine.Behavioral{Model: m}, 4),
 		Rungs:  2,
@@ -512,7 +513,7 @@ func TestRobustSearchAcceptance(t *testing.T) {
 		if robust {
 			opts.Conditions = conds
 		}
-		res, err := search.Run(opts)
+		res, err := search.Run(context.Background(), opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -594,7 +595,7 @@ func TestRobustSearchAcceptance(t *testing.T) {
 func TestRobustSearchWorkerInvarianceFullResult(t *testing.T) {
 	conds := robustConditions(t)
 	run := func(workers int) *search.Result {
-		res, err := search.Run(search.Options{
+		res, err := search.Run(context.Background(), search.Options{
 			Space:      robustSpace(),
 			Screen:     engine.New(&pvtBackend{name: "screen"}, workers),
 			Final:      engine.New(&pvtBackend{name: "golden"}, workers),
@@ -620,7 +621,7 @@ func TestRobustSearchWorkerInvarianceFullResult(t *testing.T) {
 func TestRobustSearchPromotesAllConditions(t *testing.T) {
 	conds := robustConditions(t)
 	finalBack := &pvtBackend{name: "golden"}
-	res, err := search.Run(search.Options{
+	res, err := search.Run(context.Background(), search.Options{
 		Space:      robustSpace(),
 		Screen:     engine.New(&pvtBackend{name: "screen"}, 4),
 		Final:      engine.New(finalBack, 4),

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func decodeEvent(t *testing.T, data []byte) Event {
+	t.Helper()
+	var ev Event
+	if err := json.Unmarshal(data, &ev); err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+// TestHubHistoryReplay: a subscriber attaching after events were published
+// — even after the terminal one — replays the full ordered history.
+func TestHubHistoryReplay(t *testing.T) {
+	h := NewHub()
+	h.Publish("j1", Event{Type: EventState, State: JobRunning})
+	h.Publish("j1", Event{Type: EventProgress, Done: 3, Total: 10})
+	h.Publish("j1", Event{Type: EventDone})
+	h.Publish("j1", Event{Type: EventProgress, Done: 9, Total: 10}) // after terminal: dropped
+
+	history, ch := h.Subscribe("j1")
+	if len(history) != 3 {
+		t.Fatalf("replayed %d events, want 3 (publishes after the terminal event are dropped)", len(history))
+	}
+	for i, data := range history {
+		ev := decodeEvent(t, data)
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want contiguous from 1", i, ev.Seq)
+		}
+		if ev.Job != "j1" {
+			t.Fatalf("event carries job %q", ev.Job)
+		}
+	}
+	if last := decodeEvent(t, history[2]); last.Type != EventDone {
+		t.Fatalf("last event %q, want done", last.Type)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("subscriber channel on a finished topic is not closed")
+	}
+}
+
+// TestHubLiveDelivery: an early subscriber sees history + live events in
+// order, and the terminal event closes its channel.
+func TestHubLiveDelivery(t *testing.T) {
+	h := NewHub()
+	h.Publish("j1", Event{Type: EventState, State: JobQueued})
+	history, ch := h.Subscribe("j1")
+	if len(history) != 1 {
+		t.Fatalf("history %d, want 1", len(history))
+	}
+	h.Publish("j1", Event{Type: EventProgress, Done: 1, Total: 2})
+	h.Publish("j1", Event{Type: EventDone})
+
+	got := []Event{decodeEvent(t, history[0])}
+	for data := range ch {
+		got = append(got, decodeEvent(t, data))
+	}
+	if len(got) != 3 {
+		t.Fatalf("saw %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d: order broken across the history/live boundary", i, ev.Seq)
+		}
+	}
+	if got[2].Type != EventDone {
+		t.Fatalf("final event %q, want done", got[2].Type)
+	}
+}
+
+// TestHubDropsSlowSubscriber: a subscriber that stops draining is
+// disconnected once its buffer fills; the publisher never blocks and other
+// subscribers are unaffected.
+func TestHubDropsSlowSubscriber(t *testing.T) {
+	h := NewHub()
+	_, slow := h.Subscribe("j1")
+	for i := 0; i < subBuffer+8; i++ {
+		h.Publish("j1", Event{Type: EventProgress, Done: i + 1, Total: subBuffer + 8})
+	}
+	// The slow channel was closed on overflow: drain to the close marker.
+	n := 0
+	for range slow {
+		n++
+	}
+	if n != subBuffer {
+		t.Fatalf("slow subscriber buffered %d events before the drop, want %d", n, subBuffer)
+	}
+	// A fresh subscriber still gets the complete history.
+	history, _ := h.Subscribe("j1")
+	if len(history) != subBuffer+8 {
+		t.Fatalf("history %d events, want %d", len(history), subBuffer+8)
+	}
+}
+
+// TestHubUnsubscribeIdempotent: Unsubscribe is safe to repeat and to race
+// with a terminal publish (no double close).
+func TestHubUnsubscribeIdempotent(t *testing.T) {
+	h := NewHub()
+	_, ch := h.Subscribe("j1")
+	h.Unsubscribe("j1", ch)
+	h.Unsubscribe("j1", ch)                 // repeat: no panic
+	h.Publish("j1", Event{Type: EventDone}) // terminal after detach: no panic
+	if _, ok := <-ch; ok {
+		t.Fatal("unsubscribed channel not closed")
+	}
+}
+
+// TestHubDrop disconnects subscribers and forgets the topic entirely.
+func TestHubDrop(t *testing.T) {
+	h := NewHub()
+	h.Publish("j1", Event{Type: EventDone})
+	_, ch := h.Subscribe("j2")
+	h.Drop("j1")
+	h.Drop("j2")
+	if _, ok := <-ch; ok {
+		t.Fatal("Drop left the subscriber channel open")
+	}
+	if history, _ := h.Subscribe("j1"); len(history) != 0 {
+		t.Fatalf("dropped topic still replays %d events", len(history))
+	}
+}

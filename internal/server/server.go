@@ -1,0 +1,356 @@
+// Package server is the exploration-as-a-service layer: a long-lived HTTP
+// server (stdlib net/http only) exposing the evaluation stack to multiple
+// concurrent users. Clients create sessions, submit sweep / adaptive-search
+// / condition-matrix jobs, and follow live progress over WebSocket (a
+// hand-rolled RFC 6455 subset — no dependencies).
+//
+// The concurrency model has two layers. Per session, operations are
+// serialized: a session holds at most one active job (submitting into a
+// busy session is a 409), and DELETE on the active job cancels it
+// promptly — in-flight backend evaluations complete and persist, unstarted
+// cells are abandoned, so the store stays consistent and a rerun resumes
+// from the warm tiers. Across sessions, everything is shared: all jobs run
+// against one exp.Context, so overlapping submissions from different users
+// dedupe against the same memory cache and persistent store.
+//
+// Results use the same JSON shapes the optima CLI writes (search jobs
+// return search.JSONReport — byte-identical to `optima search`'s
+// search.json payload for identical options, at any worker count).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"optima/internal/engine"
+	"optima/internal/exp"
+)
+
+// Server is the service state: the shared experiment context, the session
+// table, and the progress hub. Create with New, serve Handler, stop with
+// Shutdown.
+type Server struct {
+	exp *exp.Context
+	hub *Hub
+	mux *http.ServeMux
+
+	// engineFor resolves a backend name to an evaluation engine — normally
+	// exp.Context.EngineFor; in-package tests substitute controllable
+	// backends through it.
+	engineFor func(name string) (*engine.Engine, error)
+
+	mu        sync.Mutex
+	sessions  map[string]*session
+	sessOrder []string
+
+	nextSess atomic.Uint64
+	nextJob  atomic.Uint64
+
+	jobWG   sync.WaitGroup
+	closing atomic.Bool
+}
+
+// New wraps an experiment context into a server. The caller keeps
+// ownership of nothing: Shutdown closes the context (flushing the
+// persistent store).
+func New(expCtx *exp.Context) *Server {
+	s := &Server{
+		exp:      expCtx,
+		hub:      NewHub(),
+		mux:      http.NewServeMux(),
+		sessions: make(map[string]*session),
+	}
+	s.engineFor = expCtx.EngineFor
+	s.routes()
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /api/status", s.handleStatus)
+	s.mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /api/sessions", s.handleListSessions)
+	s.mux.HandleFunc("GET /api/sessions/{sid}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /api/sessions/{sid}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /api/sessions/{sid}/jobs", s.handleSubmitJob)
+	s.mux.HandleFunc("GET /api/sessions/{sid}/jobs/{jid}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /api/sessions/{sid}/jobs/{jid}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /api/sessions/{sid}/jobs/{jid}/ws", s.handleJobWS)
+}
+
+// Shutdown drains the server: new sessions and jobs are refused (503),
+// running jobs are waited for — or cancelled when ctx expires first — and
+// the experiment context is closed, flushing the persistent store. Call
+// after the HTTP listener has stopped accepting.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		sessions := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			sessions = append(sessions, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range sessions {
+			sess.cancelActive()
+		}
+		<-done // cancelled jobs unwind quickly (cells are abandoned)
+	}
+	return s.exp.Close()
+}
+
+// StoreStatus reports the persistent-store health on GET /api/status.
+type StoreStatus struct {
+	// Persistent is false when no cache directory was configured OR the
+	// store failed to open (Error says why) — either way the server is
+	// serving from the memory tier only and results do not survive it.
+	Persistent bool   `json:"persistent"`
+	Dir        string `json:"dir,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Records is the live result count under the session fingerprint.
+	Records int `json:"records,omitempty"`
+}
+
+// StatusResponse is the body of GET /api/status.
+type StatusResponse struct {
+	Backend    string       `json:"backend"`
+	Workers    int          `json:"workers"`
+	Conditions string       `json:"conditions"`
+	Sessions   int          `json:"sessions"`
+	ActiveJobs int          `json:"active_jobs"`
+	Engine     engine.Stats `json:"engine"`
+	Store      StoreStatus  `json:"store"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	eng := s.exp.Engine() // builds on first call; resolves the store
+	resp := StatusResponse{
+		Backend:    eng.Backend().Name(),
+		Workers:    eng.Workers(),
+		Conditions: s.exp.ConditionSet().String(),
+		Engine:     eng.Stats(),
+	}
+	if st := s.exp.Store(); st != nil {
+		resp.Store = StoreStatus{Persistent: true, Dir: st.Dir(), Records: st.Len()}
+	} else if err := s.exp.StoreError(); err != nil {
+		// The degradation surface: CacheDir was configured but the store
+		// could not open, so the server runs memory-only.
+		resp.Store.Error = err.Error()
+	}
+	s.mu.Lock()
+	resp.Sessions = len(s.sessions)
+	for _, sess := range s.sessions {
+		sess.mu.Lock()
+		if sess.opJob != "" {
+			resp.ActiveJobs++
+		}
+		sess.mu.Unlock()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	sess := newSession(fmt.Sprintf("s%d", s.nextSess.Add(1)))
+	s.mu.Lock()
+	s.sessions[sess.id] = sess
+	s.sessOrder = append(s.sessOrder, sess.id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, sess.status())
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessOrder))
+	for _, id := range s.sessOrder {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+	out := make([]SessionStatus, len(sessions))
+	for i, sess := range sessions {
+		out[i] = sess.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookupSession resolves {sid}, writing the 404 itself on a miss.
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("sid")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+	}
+	return sess
+}
+
+// lookupJob resolves {sid}/{jid}, writing the 404 itself on a miss.
+func (s *Server) lookupJob(w http.ResponseWriter, r *http.Request) (*session, *job) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return nil, nil
+	}
+	id := r.PathValue("jid")
+	j := sess.getJob(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no job %q in session %s", id, sess.id)
+		return nil, nil
+	}
+	return sess, j
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	if sess := s.lookupSession(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, sess.status())
+	}
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.cancelActive()
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	for i, id := range s.sessOrder {
+		if id == sess.id {
+			s.sessOrder = append(s.sessOrder[:i], s.sessOrder[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	// Disconnect watchers and free the event histories. A still-running
+	// job keeps running to its terminal state (its runner holds direct
+	// references); it just has no audience anymore.
+	for _, id := range sess.jobIDs() {
+		s.hub.Drop(id)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job request: %v", err)
+		return
+	}
+	jobID := fmt.Sprintf("j%d", s.nextJob.Add(1))
+	p, err := s.buildPlan(req, jobID)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := sess.begin(req.Kind, jobID, cancel); err != nil {
+		cancel()
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	j := newJob(jobID, sess.id, req.Kind)
+	sess.addJob(j)
+	s.hub.Publish(jobID, Event{Type: EventState, State: JobQueued})
+	s.jobWG.Add(1)
+	go s.runJob(sess, j, p, ctx, cancel)
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	if _, j := s.lookupJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status(true))
+	}
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	sess, j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	// Delivering the cancellation is all DELETE does; the job reaches its
+	// terminal state asynchronously (watch the WebSocket or poll GET). On
+	// an already-finished job this is a no-op returning the final state.
+	sess.cancelJob(j.id)
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+func (s *Server) handleJobWS(w http.ResponseWriter, r *http.Request) {
+	_, j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	ws, err := upgradeWS(w, r)
+	if err != nil {
+		return // upgradeWS already wrote the HTTP error
+	}
+	history, ch := s.hub.Subscribe(j.id)
+	// Reader: the only frames a client sends are control frames; its job
+	// is to detect a hang-up and detach the subscription so the writer
+	// loop below unblocks (Unsubscribe closes ch).
+	go func() {
+		for {
+			if _, err := ws.ReadMessage(); err != nil {
+				s.hub.Unsubscribe(j.id, ch)
+				ws.conn.Close()
+				return
+			}
+		}
+	}()
+	for _, msg := range history {
+		if ws.WriteMessage(msg) != nil {
+			s.hub.Unsubscribe(j.id, ch)
+			ws.conn.Close()
+			return
+		}
+	}
+	for msg := range ch {
+		if ws.WriteMessage(msg) != nil {
+			s.hub.Unsubscribe(j.id, ch)
+			ws.conn.Close()
+			return
+		}
+	}
+	// Topic closed (terminal event delivered): complete the close
+	// handshake and let the reader goroutine exit on the closed conn.
+	ws.Close()
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is gone; nothing useful to do but drop the conn.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,283 @@
+package server
+
+// ws.go is the minimal RFC 6455 subset the server, its tests, and the
+// smoke self-check need — handshake, unfragmented data frames, and the
+// close/ping/pong control frames — implemented over stdlib net/http
+// hijacking so the no-new-dependency rule holds. Event payloads are small
+// JSON texts; fragmentation and extensions are rejected, not emulated.
+
+import (
+	"bufio"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+)
+
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// wsAccept derives the Sec-WebSocket-Accept token from the client key.
+func wsAccept(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// WebSocket opcodes (RFC 6455 §5.2).
+const (
+	opText   byte = 0x1
+	opBinary byte = 0x2
+	opClose  byte = 0x8
+	opPing   byte = 0x9
+	opPong   byte = 0xA
+)
+
+// maxWSPayload bounds one frame; events are a few hundred bytes, so a
+// larger frame is a protocol error, not a use case.
+const maxWSPayload = 1 << 20
+
+// ErrWSClosed reports a clean close handshake from the peer.
+var ErrWSClosed = errors.New("server: websocket closed by peer")
+
+// WSConn is one WebSocket endpoint after the handshake. ReadMessage may be
+// used from one goroutine at a time; writes are serialized internally so
+// control-frame replies and the event loop can share the connection. The
+// client side (DialWS) masks its frames as the RFC requires.
+type WSConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	wmu    sync.Mutex
+	client bool
+}
+
+// writeFrame emits one unfragmented frame.
+func (c *WSConn) writeFrame(opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [14]byte
+	hdr[0] = 0x80 | opcode
+	n := 2
+	switch l := len(payload); {
+	case l < 126:
+		hdr[1] = byte(l)
+	case l <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(l))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(l))
+		n = 10
+	}
+	if c.client {
+		hdr[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		copy(hdr[n:], mask[:])
+		n += 4
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ mask[i%4]
+		}
+		payload = masked
+	}
+	if _, err := c.conn.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := c.conn.Write(payload)
+	return err
+}
+
+// readFrame reads one unfragmented frame, unmasking if needed.
+func (c *WSConn) readFrame() (opcode byte, payload []byte, err error) {
+	var h [2]byte
+	if _, err = io.ReadFull(c.br, h[:]); err != nil {
+		return 0, nil, err
+	}
+	if h[0]&0x80 == 0 || h[0]&0x70 != 0 {
+		return 0, nil, fmt.Errorf("server: fragmented or reserved-bit websocket frame %#x", h[0])
+	}
+	opcode = h[0] & 0x0F
+	masked := h[1]&0x80 != 0
+	length := uint64(h[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > maxWSPayload {
+		return 0, nil, fmt.Errorf("server: websocket frame of %d bytes exceeds the %d limit", length, maxWSPayload)
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i%4]
+		}
+	}
+	return opcode, payload, nil
+}
+
+// ReadMessage returns the next data frame's payload, transparently
+// answering pings and surfacing a peer close as ErrWSClosed.
+func (c *WSConn) ReadMessage() ([]byte, error) {
+	for {
+		op, p, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case opText, opBinary:
+			return p, nil
+		case opPing:
+			if err := c.writeFrame(opPong, p); err != nil {
+				return nil, err
+			}
+		case opPong:
+			// Unsolicited pongs are legal keep-alives; skip.
+		case opClose:
+			// Echo the close (best-effort: the peer may already be gone)
+			// to complete the handshake, then report it.
+			_ = c.writeFrame(opClose, p)
+			return nil, ErrWSClosed
+		default:
+			return nil, fmt.Errorf("server: unsupported websocket opcode %#x", op)
+		}
+	}
+}
+
+// WriteMessage sends one text frame.
+func (c *WSConn) WriteMessage(payload []byte) error {
+	return c.writeFrame(opText, payload)
+}
+
+// Close sends a normal-closure frame (best-effort) and closes the
+// underlying connection.
+func (c *WSConn) Close() error {
+	_ = c.writeFrame(opClose, []byte{0x03, 0xE8}) // status 1000
+	return c.conn.Close()
+}
+
+// upgradeWS performs the server half of the handshake, hijacking the HTTP
+// connection. On failure the HTTP error has already been written.
+func upgradeWS(w http.ResponseWriter, r *http.Request) (*WSConn, error) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
+		!headerHasToken(r.Header.Get("Connection"), "upgrade") {
+		http.Error(w, "websocket upgrade required", http.StatusBadRequest)
+		return nil, fmt.Errorf("server: not a websocket upgrade request")
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "unsupported websocket version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("server: websocket version %q", v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("server: missing websocket key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "websocket unsupported on this connection", http.StatusInternalServerError)
+		return nil, fmt.Errorf("server: response writer cannot hijack")
+	}
+	conn, brw, err := hj.Hijack()
+	if err != nil {
+		return nil, err
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAccept(key) + "\r\n\r\n"
+	if _, err := conn.Write([]byte(resp)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &WSConn{conn: conn, br: brw.Reader}, nil
+}
+
+// headerHasToken reports whether a comma-separated header value contains
+// the token (case-insensitive) — Connection can be "keep-alive, Upgrade".
+func headerHasToken(value, token string) bool {
+	for _, f := range strings.Split(value, ",") {
+		if strings.EqualFold(strings.TrimSpace(f), token) {
+			return true
+		}
+	}
+	return false
+}
+
+// DialWS is the client half of the handshake — the repo's "websocat" for
+// tests and the smoke self-check. The URL scheme may be ws:// or http://.
+func DialWS(rawURL string) (*WSConn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, err
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Host, "80")
+	}
+	var keyBytes [16]byte
+	if _, err := rand.Read(keyBytes[:]); err != nil {
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes[:])
+	conn, err := net.Dial("tcp", host)
+	if err != nil {
+		return nil, err
+	}
+	path := u.RequestURI()
+	req := "GET " + path + " HTTP/1.1\r\n" +
+		"Host: " + u.Host + "\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Key: " + key + "\r\n" +
+		"Sec-WebSocket-Version: 13\r\n\r\n"
+	if _, err := conn.Write([]byte(req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: "GET"})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		conn.Close()
+		return nil, fmt.Errorf("server: websocket handshake refused: %s", resp.Status)
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != wsAccept(key) {
+		conn.Close()
+		return nil, fmt.Errorf("server: websocket accept mismatch %q", got)
+	}
+	return &WSConn{conn: conn, br: br, client: true}, nil
+}

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestWSAccept pins the handshake derivation to RFC 6455's worked example
+// (§1.3).
+func TestWSAccept(t *testing.T) {
+	const key = "dGhlIHNhbXBsZSBub25jZQ=="
+	const want = "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got := wsAccept(key); got != want {
+		t.Fatalf("wsAccept(%q) = %q, want %q", key, got, want)
+	}
+}
+
+// wsPair returns a connected server/client WSConn pair over loopback TCP
+// (net.Pipe's unbuffered writes would deadlock the control-frame replies).
+func wsPair(t *testing.T) (srv, cli *WSConn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			t.Error(err)
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	cconn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sconn, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { cconn.Close(); sconn.Close() })
+	srv = &WSConn{conn: sconn, br: bufio.NewReader(sconn)}
+	cli = &WSConn{conn: cconn, br: bufio.NewReader(cconn), client: true}
+	return srv, cli
+}
+
+// TestWSFrameRoundTrip covers the three length encodings in both
+// directions — masked client frames and unmasked server frames.
+func TestWSFrameRoundTrip(t *testing.T) {
+	srv, cli := wsPair(t)
+	payloads := [][]byte{
+		[]byte("x"), // 7-bit length
+		bytes.Repeat([]byte("a"), 125),
+		bytes.Repeat([]byte("b"), 126),   // 16-bit length
+		bytes.Repeat([]byte("c"), 65536), // 64-bit length
+	}
+	for _, p := range payloads {
+		go func() {
+			if err := cli.WriteMessage(p); err != nil {
+				t.Error(err)
+			}
+		}()
+		got, err := srv.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("client→server payload of %d bytes corrupted", len(p))
+		}
+		go func() {
+			if err := srv.WriteMessage(p); err != nil {
+				t.Error(err)
+			}
+		}()
+		if got, err = cli.ReadMessage(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("server→client payload of %d bytes corrupted", len(p))
+		}
+	}
+}
+
+// TestWSPingAndClose: pings are answered transparently mid-stream, and a
+// peer close surfaces as ErrWSClosed after the handshake completes.
+func TestWSPingAndClose(t *testing.T) {
+	srv, cli := wsPair(t)
+	go func() {
+		if err := cli.writeFrame(opPing, []byte("p")); err != nil {
+			t.Error(err)
+		}
+		if err := cli.WriteMessage([]byte("data")); err != nil {
+			t.Error(err)
+		}
+	}()
+	// The server answers the ping internally and hands back the text.
+	got, err := srv.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "data" {
+		t.Fatalf("read %q, want %q", got, "data")
+	}
+	// The client's next read skips the pong reply; give it a text frame.
+	go srv.WriteMessage([]byte("after"))
+	if got, err = cli.ReadMessage(); err != nil || string(got) != "after" {
+		t.Fatalf("read after pong: %q, %v", got, err)
+	}
+
+	go cli.Close()
+	if _, err := srv.ReadMessage(); !errors.Is(err, ErrWSClosed) {
+		t.Fatalf("read after peer close: %v, want ErrWSClosed", err)
+	}
+}
+
+// TestDialWSHandshake runs the full client handshake (DialWS) against the
+// server-side upgrade (upgradeWS) through a real HTTP server, echoing one
+// message back.
+func TestDialWSHandshake(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ws, err := upgradeWS(w, r)
+		if err != nil {
+			return
+		}
+		defer ws.conn.Close()
+		msg, err := ws.ReadMessage()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := ws.WriteMessage(append([]byte("echo:"), msg...)); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer ts.Close()
+
+	ws, err := DialWS(ts.URL + "/ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close()
+	if err := ws.WriteMessage([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ws.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "echo:hello" {
+		t.Fatalf("echoed %q", got)
+	}
+}
+
+// TestUpgradeWSRejectsPlainRequest: a non-upgrade GET gets an HTTP error,
+// not a hijacked connection.
+func TestUpgradeWSRejectsPlainRequest(t *testing.T) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/ws", nil)
+	if _, err := upgradeWS(rec, req); err == nil {
+		t.Fatal("upgradeWS accepted a plain GET")
+	}
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}
