@@ -16,11 +16,17 @@
 // honest run, and an unlucky one no longer hides a real regression.
 //
 // Baseline files that are missing are skipped; when none exist the gate
-// passes (the first run of a branch has nothing to compare against). A
-// missing fresh file is an error. Benchmarks present only on one side are
-// reported but never gate — renames and additions must not break CI.
-// Benchmarks whose baseline median is 0 (clock-resolution underflow for
-// ns/op, no allocation tracking for allocs/op) never gate on that metric.
+// passes (the first run of a branch has nothing to compare against), but
+// every fresh benchmark is still reported as NEW so the run's coverage is
+// visible. A missing fresh file is an error. Benchmarks present only on
+// one side are reported but never gate — renames and additions must not
+// break CI. Benchmarks whose baseline median is 0 (clock-resolution
+// underflow for ns/op, no allocation tracking for allocs/op) never gate on
+// that metric.
+//
+// Every benchmark always gets a verdict line — PASS, NEW, SKIP, SLOW or
+// GONE — followed by a one-line tally, so a green run shows what it
+// covered, not just the absence of failures.
 package main
 
 import (
@@ -56,6 +62,7 @@ func load(path string) ([]Bench, error) {
 
 // result is one gate verdict line.
 type result struct {
+	kind       string // PASS, NEW, SKIP, SLOW or GONE
 	line       string
 	regression bool
 }
@@ -91,7 +98,7 @@ func gate(baselines [][]Bench, fresh []Bench, maxSlowdown float64) []result {
 		seen[f.Name] = true
 		ns, ok := baseNs[f.Name]
 		if !ok {
-			out = append(out, result{line: fmt.Sprintf("NEW   %-60s %14.0f ns/op", f.Name, f.NsPerOp)})
+			out = append(out, result{kind: "NEW", line: fmt.Sprintf("NEW   %-60s %14.0f ns/op", f.Name, f.NsPerOp)})
 			continue
 		}
 		medNs := median(ns)
@@ -107,15 +114,16 @@ func gate(baselines [][]Bench, fresh []Bench, maxSlowdown float64) []result {
 		}
 		switch {
 		case medNs <= 0 && medAllocs <= 0:
-			out = append(out, result{line: fmt.Sprintf("SKIP  %-60s baseline medians 0", f.Name)})
+			out = append(out, result{kind: "SKIP", line: fmt.Sprintf("SKIP  %-60s baseline medians 0", f.Name)})
 		case len(reasons) > 0:
 			out = append(out, result{
+				kind: "SLOW",
 				line: fmt.Sprintf("SLOW  %-60s %14.0f -> %14.0f ns/op (median of %d): %s",
 					f.Name, medNs, f.NsPerOp, len(ns), strings.Join(reasons, ", ")),
 				regression: true,
 			})
 		default:
-			out = append(out, result{line: fmt.Sprintf("OK    %-60s %14.0f -> %14.0f ns/op (median of %d, %+.1f%%)",
+			out = append(out, result{kind: "PASS", line: fmt.Sprintf("PASS  %-60s %14.0f -> %14.0f ns/op (median of %d, %+.1f%%)",
 				f.Name, medNs, f.NsPerOp, len(ns), pctDelta(f.NsPerOp, medNs))})
 		}
 	}
@@ -129,9 +137,31 @@ func gate(baselines [][]Bench, fresh []Bench, maxSlowdown float64) []result {
 	}
 	sort.Strings(gone)
 	for _, name := range gone {
-		out = append(out, result{line: fmt.Sprintf("GONE  %-60s (was %14.0f ns/op)", name, median(baseNs[name]))})
+		out = append(out, result{kind: "GONE", line: fmt.Sprintf("GONE  %-60s (was %14.0f ns/op)", name, median(baseNs[name]))})
 	}
 	return out
+}
+
+// tally renders one run's per-kind counts ("5 passed, 1 new, 2 skipped"),
+// omitting absent kinds, in a fixed order.
+func tally(results []result) string {
+	counts := map[string]int{}
+	for _, r := range results {
+		counts[r.kind]++
+	}
+	var parts []string
+	for _, k := range []struct{ kind, label string }{
+		{"PASS", "passed"}, {"NEW", "new"}, {"SKIP", "skipped"},
+		{"SLOW", "regressed"}, {"GONE", "gone"},
+	} {
+		if n := counts[k.kind]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s", n, k.label))
+		}
+	}
+	if len(parts) == 0 {
+		return "no benchmarks"
+	}
+	return strings.Join(parts, ", ")
 }
 
 // pctDelta guards the OK line's percentage against a 0 ns/op median.
@@ -168,23 +198,25 @@ func main() {
 		}
 		baselines = append(baselines, baseline)
 	}
-	if len(baselines) == 0 {
-		fmt.Println("benchgate: no baselines found; nothing to gate")
-		return
-	}
 	fresh, err := load(*newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("benchgate: gating against the median of %d baseline artifact(s)\n", len(baselines))
+	if len(baselines) == 0 {
+		fmt.Println("benchgate: no baselines found; nothing to gate (every benchmark is NEW)")
+	} else {
+		fmt.Printf("benchgate: gating against the median of %d baseline artifact(s)\n", len(baselines))
+	}
+	results := gate(baselines, fresh, *maxSlowdown)
 	regressions := 0
-	for _, r := range gate(baselines, fresh, *maxSlowdown) {
+	for _, r := range results {
 		fmt.Println(r.line)
 		if r.regression {
 			regressions++
 		}
 	}
+	fmt.Printf("benchgate: %s\n", tally(results))
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d benchmark(s) regressed more than %.0f%%\n",
 			regressions, *maxSlowdown*100)

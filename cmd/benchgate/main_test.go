@@ -39,14 +39,41 @@ func TestGateFlagsOnlyRealRegressions(t *testing.T) {
 	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkEngineSweep/cached") {
 		t.Fatalf("regressions = %v, want exactly the cached sweep", regs)
 	}
-	var added, gone, skipped bool
+	var added, gone, skipped, passed bool
 	for _, line := range names(results, false) {
 		added = added || strings.HasPrefix(line, "NEW") && strings.Contains(line, "BenchmarkAdded")
 		gone = gone || strings.HasPrefix(line, "GONE") && strings.Contains(line, "BenchmarkRemoved")
 		skipped = skipped || strings.HasPrefix(line, "SKIP") && strings.Contains(line, "BenchmarkZeroBase")
+		passed = passed || strings.HasPrefix(line, "PASS") && strings.Contains(line, "BenchmarkSearchAdaptive/cold")
 	}
-	if !added || !gone || !skipped {
-		t.Fatalf("missing NEW/GONE/SKIP reporting: added=%v gone=%v skipped=%v", added, gone, skipped)
+	if !added || !gone || !skipped || !passed {
+		t.Fatalf("missing NEW/GONE/SKIP/PASS reporting: added=%v gone=%v skipped=%v passed=%v",
+			added, gone, skipped, passed)
+	}
+	if got := tally(results); got != "2 passed, 1 new, 1 skipped, 1 regressed, 1 gone" {
+		t.Fatalf("tally = %q", got)
+	}
+}
+
+// TestGateNoBaselinesReportsAllNew: the first run of a branch has nothing
+// to gate against, but still reports each benchmark (as NEW) so a green
+// run shows its coverage.
+func TestGateNoBaselinesReportsAllNew(t *testing.T) {
+	fresh := []Bench{{Name: "A", NsPerOp: 10}, {Name: "B", NsPerOp: 20}}
+	results := gate(nil, fresh, 0.30)
+	if len(results) != 2 {
+		t.Fatalf("got %d verdict lines, want one per benchmark", len(results))
+	}
+	for _, r := range results {
+		if r.kind != "NEW" || r.regression {
+			t.Fatalf("verdict without baselines: %+v, want a non-gating NEW", r)
+		}
+	}
+	if got := tally(results); got != "2 new" {
+		t.Fatalf("tally = %q, want \"2 new\"", got)
+	}
+	if got := tally(nil); got != "no benchmarks" {
+		t.Fatalf("empty tally = %q", got)
 	}
 }
 

@@ -89,11 +89,11 @@ func ParseCondition(spec string) (device.PVT, error) {
 	}
 	vdd, err := parseUnit(parts[1], "V")
 	if err != nil {
-		return device.PVT{}, fmt.Errorf("engine: condition %q: supply %v", spec, err)
+		return device.PVT{}, fmt.Errorf("engine: condition %q: supply %w", spec, err)
 	}
 	temp, err := parseUnit(parts[2], "C")
 	if err != nil {
-		return device.PVT{}, fmt.Errorf("engine: condition %q: temperature %v", spec, err)
+		return device.PVT{}, fmt.Errorf("engine: condition %q: temperature %w", spec, err)
 	}
 	cond := device.PVT{Corner: corner, VDD: vdd, TempC: temp}
 	if err := ValidateCondition(cond); err != nil {

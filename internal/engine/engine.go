@@ -290,13 +290,13 @@ func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 	e.mu.Unlock()
 
 	if store != nil {
-		if met, ok := store.Get(key); ok {
-			e.mu.Lock()
-			e.diskHits++
-			e.mu.Unlock()
-			ent.met = met
-			close(ent.done)
-			return met, nil
+		if e.storeResolve(store, key, ent) {
+			if ent.err == nil {
+				e.mu.Lock()
+				e.diskHits++
+				e.mu.Unlock()
+			}
+			return ent.met, ent.err
 		}
 	}
 
@@ -309,6 +309,30 @@ func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 		e.persist([]CacheEntry{{Key: key, Met: ent.met}})
 	}
 	return ent.met, ent.err
+}
+
+// storeResolve consults the persistent tier for a claimed key and, on a
+// hit, resolves the entry with the stored metrics. It reports whether the
+// entry was resolved — including the case where the Store implementation
+// panicked, which resolves the claim with an error instead of stranding it:
+// a Store is arbitrary code, and a panic between taking a claim and closing
+// its done channel would leave every concurrent waiter blocked forever (the
+// PR 3 stuck-waiter class, now machine-checked by optimalint/claimsafety).
+func (e *Engine) storeResolve(store Store, key Key, ent *entry) (resolved bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ent.err = fmt.Errorf("engine: store lookup panicked for corner %v at %v: %v", key.Config, key.Cond, r)
+			close(ent.done)
+			resolved = true
+		}
+	}()
+	met, ok := store.Get(key)
+	if !ok {
+		return false
+	}
+	ent.met = met
+	close(ent.done)
+	return true
 }
 
 // persist writes freshly computed results to the store tier, best-effort:
@@ -443,11 +467,10 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 				toRun = append(toRun, ownedKeys[n:]...)
 				break
 			}
-			if met, ok := store.Get(key); ok {
-				ent := owned[key]
-				ent.met = met
-				close(ent.done)
-				fromDisk++
+			if ent := owned[key]; e.storeResolve(store, key, ent) {
+				if ent.err == nil {
+					fromDisk++
+				}
 				continue
 			}
 			toRun = append(toRun, key)

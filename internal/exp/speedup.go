@@ -46,6 +46,7 @@ func (c *Context) SpeedupInputSpace(cfg mult.Config) (SpeedupResult, error) {
 	if err != nil {
 		return out, err
 	}
+	//lint:ignore determinism the speed-up experiment measures wall-clock time; the timing is the result, and it never enters a cache key or persisted record
 	start := time.Now()
 	for a := uint(0); a <= mult.OperandMax; a++ {
 		for d := uint(0); d <= mult.OperandMax; d++ {
@@ -62,6 +63,7 @@ func (c *Context) SpeedupInputSpace(cfg mult.Config) (SpeedupResult, error) {
 		return out, err
 	}
 	var scr spice.Scratch
+	//lint:ignore determinism the speed-up experiment measures wall-clock time; the timing is the result, and it never enters a cache key or persisted record
 	start = time.Now()
 	for a := uint(0); a <= mult.OperandMax; a++ {
 		for d := uint(0); d <= mult.OperandMax; d++ {
@@ -88,6 +90,7 @@ func (c *Context) SpeedupMonteCarlo(cfg mult.Config, samples int) (SpeedupResult
 		return out, err
 	}
 	rng := stats.NewRNG(0x5eed)
+	//lint:ignore determinism the speed-up experiment measures wall-clock time; the timing is the result, and it never enters a cache key or persisted record
 	start := time.Now()
 	for s := 0; s < samples; s++ {
 		if _, err := b.Multiply(a, d, rng); err != nil {
@@ -104,6 +107,7 @@ func (c *Context) SpeedupMonteCarlo(cfg mult.Config, samples int) (SpeedupResult
 	grng := stats.NewRNG(0x5eed)
 	var cells sram.Word
 	var scr spice.Scratch
+	//lint:ignore determinism the speed-up experiment measures wall-clock time; the timing is the result, and it never enters a cache key or persisted record
 	start = time.Now()
 	for s := 0; s < samples; s++ {
 		cells.SampleMismatch(c.Tech, grng)

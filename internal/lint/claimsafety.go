@@ -1,0 +1,185 @@
+// claimsafety.go checks the cache-claim protocol of the evaluation engine
+// and the persistent store: once a computation claims a key (an entry with
+// a `done` channel is published where concurrent submitters can wait on
+// it), every path — including a panic in the code run under the claim —
+// must resolve it. PR 3's stuck-waiter bug was exactly this: a backend
+// panic skipped the close and every waiter on that corner hung forever.
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// claimPkgs are the packages that implement claim/resolve protocols.
+var claimPkgs = []string{
+	"internal/engine",
+	"internal/store",
+}
+
+// ClaimSafetyAnalyzer flags, in the claim-implementing packages, a plain
+// (non-deferred) close of a claim's `done` channel when a call that can
+// panic — an interface-method call such as Store.Get or Backend.Evaluate,
+// or any *Evaluate* call — sits between taking the claim and closing it.
+// On that shape a panic unwinds past the close and the claim is stranded:
+// concurrent waiters block forever. Close via defer (recovering into the
+// entry's error), or move the risky call out of the claim window.
+func ClaimSafetyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:    "claimsafety",
+		Doc:     "a taken claim's done channel must close on every path; no panic window between claim and close",
+		InScope: inScope(claimPkgs...),
+		Run:     runClaimSafety,
+	}
+}
+
+func runClaimSafety(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkClaimWindow(pass, fn.Body)
+		}
+	}
+}
+
+// checkClaimWindow scans one function: claim sites, risky calls, and plain
+// closes of done channels, in source order.
+func checkClaimWindow(pass *Pass, body *ast.BlockStmt) {
+	claimPos := token.NoPos
+	type risky struct {
+		pos  token.Pos
+		what string
+	}
+	var risks []risky
+
+	// deferred tracks the DeferStmt subtrees so closes inside them (directly
+	// or via a deferred func literal) are recognized as panic-safe.
+	var deferSpans [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferSpans = append(deferSpans, [2]token.Pos{d.Pos(), d.End()})
+		}
+		return true
+	})
+	inDefer := func(pos token.Pos) bool {
+		for _, s := range deferSpans {
+			if pos >= s[0] && pos < s[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if key, ok := kv.Key.(*ast.Ident); ok && isDoneName(key.Name) && isMakeChan(pass, kv.Value) {
+						if claimPos == token.NoPos || n.Pos() < claimPos {
+							claimPos = n.Pos()
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || !isDoneName(sel.Sel.Name) || i >= len(n.Rhs) {
+					continue
+				}
+				if isMakeChan(pass, n.Rhs[i]) && (claimPos == token.NoPos || n.Pos() < claimPos) {
+					claimPos = n.Pos()
+				}
+			}
+		case *ast.CallExpr:
+			if name, ok := closedChanName(n); ok {
+				if !inDefer(n.Pos()) && claimPos != token.NoPos && n.Pos() > claimPos {
+					for _, r := range risks {
+						if r.pos > claimPos && r.pos < n.Pos() && !inDefer(r.pos) {
+							pass.Reportf(n.Pos(), "close(%s) is reached only if %s returns: a panic there strands the claim taken at line %d and its waiters block forever; close via defer or make the resolution panic-safe",
+								name, r.what, pass.Fset.Position(claimPos).Line)
+							break
+						}
+					}
+				}
+				return true
+			}
+			if what, ok := riskyCall(pass, n); ok {
+				risks = append(risks, risky{pos: n.Pos(), what: what})
+			}
+		}
+		return true
+	})
+}
+
+func isDoneName(name string) bool {
+	return name == "done" || (len(name) > 4 && name[len(name)-4:] == "Done")
+}
+
+// isMakeChan matches make(chan T[, n]) expressions.
+func isMakeChan(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	t := pass.Info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// closedChanName matches close(x.done)/close(done) and returns the textual
+// channel name.
+func closedChanName(call *ast.CallExpr) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return "", false
+	}
+	switch arg := call.Args[0].(type) {
+	case *ast.Ident:
+		if isDoneName(arg.Name) {
+			return arg.Name, true
+		}
+	case *ast.SelectorExpr:
+		if isDoneName(arg.Sel.Name) {
+			if base, ok := arg.X.(*ast.Ident); ok {
+				return base.Name + "." + arg.Sel.Name, true
+			}
+			return arg.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+// riskyCall reports whether the call can panic in foreign code: an
+// interface-method call (a Store or Backend implementation is arbitrary
+// code) or anything named like an evaluator.
+func riskyCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		recv := s.Recv()
+		if _, isIface := recv.Underlying().(*types.Interface); isIface {
+			return "the " + recv.String() + " method " + name, true
+		}
+	}
+	if strings.Contains(name, "Evaluate") {
+		return name, true
+	}
+	return "", false
+}

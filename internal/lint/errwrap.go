@@ -1,0 +1,85 @@
+// errwrap.go checks that error chains survive wrapping. The engine's
+// cancellation contract — errors.Is(err, context.Canceled) works from the
+// HTTP layer all the way down to an abandoned batch cell — only holds if
+// every fmt.Errorf on the path uses %w. PR 7 fixed one silent break of this
+// (a %v wrap of the batch cancellation error); this analyzer makes the next
+// one a diagnostic instead of a debugging session.
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrapAnalyzer flags fmt.Errorf calls that format an error-typed
+// argument without any %w verb in the format string: the wrap loses the
+// chain, so errors.Is/errors.As stop seeing context.Canceled (or any
+// sentinel) behind it. Applies everywhere — these errors cross package
+// boundaries by construction.
+func ErrWrapAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:    "errwrap",
+		Doc:     "fmt.Errorf over an error value must use %w so errors.Is/As keep working across packages",
+		InScope: everywhere,
+		Run:     runErrWrap,
+	}
+}
+
+func runErrWrap(pass *Pass) {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 2 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Errorf" {
+				return true
+			}
+			if pkgPath, ok := packageOf(pass.Info, sel); !ok || pkgPath != "fmt" {
+				return true
+			}
+			format, ok := constString(pass, call.Args[0])
+			if !ok || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				t := pass.Info.TypeOf(arg)
+				if t == nil || !types.Implements(t, errType) {
+					continue
+				}
+				pass.Reportf(call.Pos(), "fmt.Errorf formats %s (an error) without %%w: the chain is broken and errors.Is/As cannot see through it; use %%w, or suppress with the reason the chain should end here", exprText(arg))
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// constString evaluates a constant string expression.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// exprText renders a short name for the offending argument.
+func exprText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base, ok := e.X.(*ast.Ident); ok {
+			return base.Name + "." + e.Sel.Name
+		}
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "(...)"
+	}
+	return "the error argument"
+}

@@ -1,0 +1,10 @@
+// Package broken fails to compile on purpose: the driver must degrade to a
+// per-package "load" diagnostic — not crash — and keep analyzing the rest
+// of the corpus. (The corpus test asserts this package's diagnostic by
+// content, not by a // want comment: go list reports the failure without a
+// stable in-file position.)
+package broken
+
+func typeError() int {
+	return undefinedIdentifier
+}

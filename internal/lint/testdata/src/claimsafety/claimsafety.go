@@ -1,0 +1,67 @@
+// Package claimsafety is the expected-diagnostic corpus for the
+// claim-safety analyzer: the PR 3 stuck-waiter shape (a claim whose done
+// channel closes only on the happy path past a call that can panic), next
+// to the defer-based resolution that is always safe.
+package claimsafety
+
+import "errors"
+
+type metrics struct{ v float64 }
+
+type store interface {
+	Get(string) (metrics, bool)
+}
+
+type backend struct{}
+
+func (backend) Evaluate(key string) (metrics, error) { return metrics{}, nil }
+
+type entry struct {
+	done chan struct{}
+	met  metrics
+	err  error
+}
+
+type cache struct {
+	entries map[string]*entry
+	store   store
+}
+
+// badStoreClaim takes a claim, consults the store (arbitrary code behind an
+// interface), and closes only if that call returns.
+func (c *cache) badStoreClaim(key string) *entry {
+	ent := &entry{done: make(chan struct{})}
+	c.entries[key] = ent
+	if met, ok := c.store.Get(key); ok {
+		ent.met = met
+		close(ent.done) // want "strands the claim"
+	}
+	return ent
+}
+
+// badEvalClaim is the original stuck-waiter: a panicking evaluator skips
+// the close and every waiter on the claim hangs forever.
+func (c *cache) badEvalClaim(key string, b backend) *entry {
+	ent := &entry{done: make(chan struct{})}
+	c.entries[key] = ent
+	ent.met, ent.err = b.Evaluate(key)
+	close(ent.done) // want "strands the claim"
+	return ent
+}
+
+// goodDeferClaim closes via defer: every path, panic included, resolves the
+// claim.
+func (c *cache) goodDeferClaim(key string, b backend) *entry {
+	ent := &entry{done: make(chan struct{})}
+	c.entries[key] = ent
+	defer close(ent.done)
+	ent.met, ent.err = b.Evaluate(key)
+	return ent
+}
+
+// goodResolveOnly closes a claim taken elsewhere: without a claim in this
+// function there is no panic window to flag.
+func (c *cache) goodResolveOnly(ent *entry) {
+	ent.err = errors.New("abandoned")
+	close(ent.done)
+}

@@ -1,0 +1,73 @@
+// Package determinism is the expected-diagnostic corpus for the
+// determinism analyzer: map-order-dependent accumulation, wall-clock
+// reads, and unseeded randomness, next to the clean idioms that must not
+// be flagged.
+package determinism
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+func badMapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "accumulation into out"
+	}
+	return out
+}
+
+func goodMapAppendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodIndexedWrite(m map[int]string, n int) []string {
+	out := make([]string, n)
+	for i, v := range m {
+		out[i] = v
+	}
+	return out
+}
+
+func badStringConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "accumulation into s"
+	}
+	return s
+}
+
+func badBuilderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "write to b.WriteString"
+	}
+	return b.String()
+}
+
+func badFprintf(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf sink w"
+	}
+}
+
+func badNow() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want "math/rand"
+}
+
+func goodSeededRand(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(10)
+}

@@ -1,0 +1,32 @@
+// Package errwrap is the expected-diagnostic corpus for the error-wrapping
+// analyzer: fmt.Errorf calls that flatten an error with %v (breaking
+// errors.Is/As through the wrap), next to proper %w wrapping.
+package errwrap
+
+import (
+	"context"
+	"fmt"
+)
+
+func badWrap(err error) error {
+	return fmt.Errorf("operation failed: %v", err) // want "without %w"
+}
+
+func badWrapContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("canceled mid-run: %v", err) // want "without %w"
+	}
+	return nil
+}
+
+func goodWrap(err error) error {
+	return fmt.Errorf("operation failed: %w", err)
+}
+
+func goodNoError(n int) error {
+	return fmt.Errorf("bad value %d", n)
+}
+
+func goodRecoveredValue(r any) error {
+	return fmt.Errorf("panicked: %v", r)
+}

@@ -1,0 +1,71 @@
+// Package lockedcall is the expected-diagnostic corpus for the locked-call
+// analyzer: evaluation work, network calls and blocking channel sends under
+// a receiver's mutex, next to the allowed idioms (non-blocking select
+// sends, work hoisted out of the critical section, goroutine bodies).
+package lockedcall
+
+import (
+	"net/http"
+	"sync"
+)
+
+type evaluator struct{}
+
+func (evaluator) Evaluate(x int) int { return x * x }
+
+type service struct {
+	mu      sync.Mutex
+	backend evaluator
+	ch      chan int
+	results []int
+}
+
+func (s *service) badEvalUnderLock(x int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results = append(s.results, s.backend.Evaluate(x)) // want "calling Evaluate"
+}
+
+func (s *service) goodEvalOutsideLock(x int) {
+	v := s.backend.Evaluate(x)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results = append(s.results, v)
+}
+
+func (s *service) badBlockingSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "blocking channel send"
+}
+
+func (s *service) goodNonBlockingSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+func (s *service) badHTTPUnderLock(url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := http.Get(url) // want "net/http"
+	return err
+}
+
+func (s *service) goodSendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.results = append(s.results, v)
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *service) goodGoroutineNotUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- v
+	}()
+}

@@ -1,0 +1,28 @@
+// Package suppress is the expected-diagnostic corpus for the suppression
+// machinery: a reasoned //lint:ignore silences its finding, a reasonless or
+// misspelled one is itself a finding and silences nothing.
+package suppress
+
+import "time"
+
+// goodSuppression documents why the invariant does not apply; the finding
+// on the next line is silenced.
+func goodSuppression() int64 {
+	//lint:ignore determinism this fixture exercises a reasoned suppression; the timestamp goes nowhere
+	return time.Now().UnixNano()
+}
+
+// missingReason forgets the mandatory reason: the directive itself becomes
+// a finding, and it suppresses nothing.
+func missingReason() int64 {
+	//lint:ignore determinism
+	// wantabove "has no reason"
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// unknownAnalyzer misspells the analyzer name: same deal.
+func unknownAnalyzer() int64 {
+	//lint:ignore determinsm typo in the analyzer name
+	// wantabove "unknown analyzer"
+	return time.Now().UnixNano() // want "time.Now"
+}

@@ -17,6 +17,7 @@ func decodeEvent(t *testing.T, data []byte) Event {
 // TestHubHistoryReplay: a subscriber attaching after events were published
 // — even after the terminal one — replays the full ordered history.
 func TestHubHistoryReplay(t *testing.T) {
+	leakCheck(t)
 	h := NewHub()
 	h.Publish("j1", Event{Type: EventState, State: JobRunning})
 	h.Publish("j1", Event{Type: EventProgress, Done: 3, Total: 10})
@@ -47,6 +48,7 @@ func TestHubHistoryReplay(t *testing.T) {
 // TestHubLiveDelivery: an early subscriber sees history + live events in
 // order, and the terminal event closes its channel.
 func TestHubLiveDelivery(t *testing.T) {
+	leakCheck(t)
 	h := NewHub()
 	h.Publish("j1", Event{Type: EventState, State: JobQueued})
 	history, ch := h.Subscribe("j1")
@@ -77,6 +79,7 @@ func TestHubLiveDelivery(t *testing.T) {
 // disconnected once its buffer fills; the publisher never blocks and other
 // subscribers are unaffected.
 func TestHubDropsSlowSubscriber(t *testing.T) {
+	leakCheck(t)
 	h := NewHub()
 	_, slow := h.Subscribe("j1")
 	for i := 0; i < subBuffer+8; i++ {
@@ -100,6 +103,7 @@ func TestHubDropsSlowSubscriber(t *testing.T) {
 // TestHubUnsubscribeIdempotent: Unsubscribe is safe to repeat and to race
 // with a terminal publish (no double close).
 func TestHubUnsubscribeIdempotent(t *testing.T) {
+	leakCheck(t)
 	h := NewHub()
 	_, ch := h.Subscribe("j1")
 	h.Unsubscribe("j1", ch)
@@ -112,6 +116,7 @@ func TestHubUnsubscribeIdempotent(t *testing.T) {
 
 // TestHubDrop disconnects subscribers and forgets the topic entirely.
 func TestHubDrop(t *testing.T) {
+	leakCheck(t)
 	h := NewHub()
 	h.Publish("j1", Event{Type: EventDone})
 	_, ch := h.Subscribe("j2")

@@ -98,10 +98,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		// Snapshot in sessOrder (creation order), not map order: the cancel
+		// fan-out is then deterministic, so a drain-deadline shutdown logs
+		// and unwinds identically across runs.
 		s.mu.Lock()
-		sessions := make([]*session, 0, len(s.sessions))
-		for _, sess := range s.sessions {
-			sessions = append(sessions, sess)
+		sessions := make([]*session, 0, len(s.sessOrder))
+		for _, id := range s.sessOrder {
+			sessions = append(sessions, s.sessions[id])
 		}
 		s.mu.Unlock()
 		for _, sess := range sessions {

@@ -331,6 +331,7 @@ func (g *gateBackend) Evaluate(cfg mult.Config, cond device.PVT) (engine.Metrics
 // and a rerun in the same session completes from the warm cache with
 // strictly fewer backend evaluations.
 func TestServerSessionBusyAndCancel(t *testing.T) {
+	leakCheck(t)
 	gate := newGateBackend()
 	gateEng := engine.New(gate, 2)
 	srv := New(testExp(t))
@@ -473,6 +474,7 @@ func TestServerStatusStoreDegradation(t *testing.T) {
 // TestServerShutdownCancelsJobs: a shutdown deadline cancels running jobs
 // and still drains cleanly.
 func TestServerShutdownCancelsJobs(t *testing.T) {
+	leakCheck(t)
 	gate := newGateBackend()
 	gateEng := engine.New(gate, 2)
 	srv := New(testExp(t))

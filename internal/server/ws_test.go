@@ -56,6 +56,7 @@ func wsPair(t *testing.T) (srv, cli *WSConn) {
 // TestWSFrameRoundTrip covers the three length encodings in both
 // directions — masked client frames and unmasked server frames.
 func TestWSFrameRoundTrip(t *testing.T) {
+	leakCheck(t)
 	srv, cli := wsPair(t)
 	payloads := [][]byte{
 		[]byte("x"), // 7-bit length
@@ -93,6 +94,7 @@ func TestWSFrameRoundTrip(t *testing.T) {
 // TestWSPingAndClose: pings are answered transparently mid-stream, and a
 // peer close surfaces as ErrWSClosed after the handshake completes.
 func TestWSPingAndClose(t *testing.T) {
+	leakCheck(t)
 	srv, cli := wsPair(t)
 	go func() {
 		if err := cli.writeFrame(opPing, []byte("p")); err != nil {
@@ -126,6 +128,7 @@ func TestWSPingAndClose(t *testing.T) {
 // server-side upgrade (upgradeWS) through a real HTTP server, echoing one
 // message back.
 func TestDialWSHandshake(t *testing.T) {
+	leakCheck(t)
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		ws, err := upgradeWS(w, r)
 		if err != nil {

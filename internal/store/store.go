@@ -41,6 +41,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -220,6 +221,9 @@ func applyRetention(dir string, nparts int, maxBytes int64, maxAge time.Duration
 	var total int64
 	cutoff := int64(math.MinInt64)
 	if maxAge > 0 {
+		// The age bound is wall-clock by definition; it gates which segments
+		// survive open, never the bytes or metrics a segment holds.
+		//lint:ignore determinism retention age is measured against the wall clock by design and never feeds persisted bytes or results
 		cutoff = time.Now().Add(-maxAge).UnixNano()
 	}
 	for i := 0; i < nparts; i++ {
@@ -327,9 +331,18 @@ func (p *partition) rewrite(fp string) error {
 	if err != nil {
 		return fmt.Errorf("store: compact: %w", err)
 	}
-	var buf []byte
+	// Encode each live record independently and concatenate them in sorted
+	// byte order: a compacted segment's content is then a pure function of
+	// the record set, not of Go's randomized map iteration — two processes
+	// compacting identical data write identical bytes.
+	recs := make([][]byte, 0, len(p.index))
 	for key, met := range p.index {
-		buf = appendRecord(buf, record{FP: fp, Key: key, Met: met})
+		recs = append(recs, appendRecord(nil, record{FP: fp, Key: key, Met: met}))
+	}
+	sort.Slice(recs, func(i, j int) bool { return bytes.Compare(recs[i], recs[j]) < 0 })
+	var buf []byte
+	for _, rec := range recs {
+		buf = append(buf, rec...)
 	}
 	if _, err := f.Write(buf); err == nil {
 		err = f.Sync()
