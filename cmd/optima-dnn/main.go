@@ -27,12 +27,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"optima/internal/core"
 	"optima/internal/engine"
 	"optima/internal/exp"
+	"optima/internal/obs"
 	"optima/internal/report"
 )
 
@@ -53,6 +55,12 @@ func main() {
 		"write a pprof CPU profile of the run to this file (analyze with `go tool pprof`)")
 	memProfile := flag.String("memprofile", "",
 		"write a pprof heap profile to this file when the run finishes")
+	traceOut := flag.String("trace-out", "",
+		"write a Chrome trace-format JSON timeline of the run to this file (open in Perfetto or chrome://tracing)")
+	logLevel := flag.String("log-level", "info",
+		"structured log level: debug, info, warn or error")
+	slowEval := flag.Duration("slow-eval", 0,
+		"log a warning for any single backend evaluation slower than this (e.g. 2s; 0 = off)")
 	flag.Parse()
 
 	opts := runOpts{
@@ -60,6 +68,7 @@ func main() {
 		workers: *workers, backend: *backend,
 		cacheDir: *cacheDir, cacheMax: *cacheMax, cacheAge: *cacheAge,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
+		traceOut: *traceOut, logLevel: *logLevel, slowEval: *slowEval,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "optima-dnn:", err)
@@ -78,12 +87,21 @@ type runOpts struct {
 	cacheMax               int64
 	cacheAge               time.Duration
 	cpuProfile, memProfile string
+	traceOut, logLevel     string
+	slowEval               time.Duration
 }
 
 func run(o runOpts) error {
 	outDir, bench, noisy := o.outDir, o.bench, o.noisy
 	modelPath, workers, backend := o.modelPath, o.workers, o.backend
 	cacheDir, cacheMax, cacheAge := o.cacheDir, o.cacheMax, o.cacheAge
+	if o.logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(o.logLevel)); err != nil {
+			return fmt.Errorf("bad -log-level %q: %w", o.logLevel, err)
+		}
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	}
 	if err := engine.ValidateBackendName(backend); err != nil {
 		return err
 	}
@@ -111,6 +129,11 @@ func run(o runOpts) error {
 	ctx.CacheMaxAge = cacheAge
 	ctx.CPUProfile = o.cpuProfile
 	ctx.MemProfile = o.memProfile
+	ctx.TraceOut = o.traceOut
+	ctx.Recorder = obs.NewRecorder(obs.RecorderOptions{
+		SlowEval: o.slowEval,
+		Logger:   slog.Default(),
+	})
 	defer ctx.Close()
 	if err := ctx.StartProfiling(); err != nil {
 		return err
@@ -146,5 +169,14 @@ func run(o runOpts) error {
 	if err := out.WriteTable("table2_imagenet", data.Table2); err != nil {
 		return err
 	}
-	return out.WriteTable("table3_cifar", data.Table3)
+	if err := out.WriteTable("table3_cifar", data.Table3); err != nil {
+		return err
+	}
+	if samples := ctx.Recorder.Metrics().Samples(); len(samples) > 0 {
+		fmt.Println("telemetry:")
+		for _, s := range samples {
+			fmt.Printf("  %-55s %g\n", s.Name, s.Value)
+		}
+	}
+	return nil
 }

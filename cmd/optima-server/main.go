@@ -34,16 +34,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"regexp"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"optima/internal/core"
 	"optima/internal/engine"
 	"optima/internal/exp"
+	"optima/internal/obs"
 	"optima/internal/server"
 )
 
@@ -70,11 +76,20 @@ func run() error {
 		"evict least-recently-written cache segments beyond this size at startup (0 = unlimited)")
 	cacheAge := fs.Duration("cache-max-age", 0,
 		"evict cache segments older than this at startup (e.g. 720h; 0 = unlimited)")
+	logLevel := fs.String("log-level", "info",
+		"structured log level: debug, info, warn or error")
+	slowEval := fs.Duration("slow-eval", 0,
+		"log a warning for any single backend evaluation slower than this (e.g. 2s; 0 = off)")
 	smoke := fs.Bool("smoke", false,
-		"run the serving-path self-check (ephemeral port, one sweep job, WebSocket to done) and exit")
+		"run the serving-path self-check (ephemeral port, one sweep job, WebSocket to done, /metrics scrape) and exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", *logLevel, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
 
 	if *smoke {
 		// The smoke check pins its own fast settings; the flags above
@@ -87,12 +102,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The server adopts this recorder: -slow-eval and the structured
+	// logger only reach the evaluation layers through it.
+	ctx.Recorder = obs.NewRecorder(obs.RecorderOptions{
+		SlowEval: *slowEval,
+		Logger:   slog.Default(),
+	})
 	srv := server.New(ctx)
 	// Build the engine (and open the store) before accepting traffic, so
 	// a bad cache directory is reported at startup, not on the first job.
 	ctx.Engine()
 	if err := ctx.StoreError(); err != nil {
-		fmt.Fprintf(os.Stderr, "optima-server: warning: %v\n", err)
+		slog.Warn("persistent store degraded", "err", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -102,8 +123,8 @@ func run() error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	fmt.Printf("optima-server: serving on %s (backend %s, %d workers)\n",
-		ln.Addr(), ctx.Engine().Backend().Name(), ctx.Engine().Workers())
+	slog.Info("serving", "addr", ln.Addr().String(),
+		"backend", ctx.Engine().Backend().Name(), "workers", ctx.Engine().Workers())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -111,12 +132,12 @@ func run() error {
 	case err := <-errc:
 		return err
 	case s := <-sig:
-		fmt.Printf("optima-server: %v: draining (running jobs get 30s)\n", s)
+		slog.Info("draining: running jobs get 30s", "signal", s.String())
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "optima-server: http shutdown: %v\n", err)
+		slog.Error("http shutdown", "err", err)
 	}
 	return srv.Shutdown(shutCtx)
 }
@@ -140,10 +161,10 @@ func makeContext(modelPath string, quick bool, workers int, backend, conditions,
 	var ctx *exp.Context
 	if modelPath != "" {
 		if m, err := core.LoadModel(modelPath); err == nil {
-			fmt.Printf("optima-server: loaded model from %s\n", modelPath)
+			slog.Info("loaded model", "path", modelPath)
 			ctx = exp.NewContextWithModel(m, calib.Tech)
 		} else {
-			fmt.Printf("optima-server: model %s not found; calibrating\n", modelPath)
+			slog.Warn("model not found; calibrating", "path", modelPath)
 		}
 	}
 	if ctx == nil {
@@ -153,7 +174,7 @@ func makeContext(modelPath string, quick bool, workers int, backend, conditions,
 		if err != nil {
 			return nil, err
 		}
-		fmt.Printf("optima-server: calibrated in %v: %v\n", time.Since(start), ctx.Model.Report)
+		slog.Info("calibrated", "duration", time.Since(start), "report", ctx.Model.Report.String())
 	}
 	ctx.Backend = backend
 	ctx.Conditions = conds
@@ -252,6 +273,16 @@ func runSmoke() error {
 		return fmt.Errorf("sweep returned no points")
 	}
 
+	// The telemetry surface: /metrics must serve well-formed Prometheus
+	// text with live evaluation counters, and the job's trace endpoint
+	// must serve a non-empty Chrome trace.
+	if err := checkMetrics(base + "/metrics"); err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if err := checkTrace(base + "/api/sessions/" + sess.ID + "/jobs/" + job.ID + "/trace"); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -261,6 +292,72 @@ func runSmoke() error {
 		return err
 	}
 	fmt.Printf("optima-server: smoke ok (%d sweep points)\n", len(res.Points))
+	return nil
+}
+
+// expositionLine matches one well-formed Prometheus text line: a comment
+// (HELP/TYPE) or a `name{labels} value` sample.
+var expositionLine = regexp.MustCompile(
+	`^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+)$`)
+
+// checkMetrics scrapes url and fails on malformed exposition text or a
+// zero behavioral-evaluation counter — a smoke run just evaluated a sweep,
+// so a zero counter means the instruments are not wired.
+func checkMetrics(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("content type %q, want text/plain", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	evals := -1.0
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if !expositionLine.MatchString(line) {
+			return fmt.Errorf("malformed exposition line %q", line)
+		}
+		if name, val, ok := strings.Cut(line, " "); ok && name == `optima_evals_total{backend="behavioral"}` {
+			if evals, err = strconv.ParseFloat(val, 64); err != nil {
+				return fmt.Errorf("bad counter value %q: %w", val, err)
+			}
+		}
+	}
+	if evals <= 0 {
+		return fmt.Errorf("optima_evals_total{backend=\"behavioral\"} is %v after a sweep, want > 0", evals)
+	}
+	fmt.Printf("optima-server: metrics ok (%d bytes, %g behavioral evals)\n", len(body), evals)
+	return nil
+}
+
+// checkTrace fetches a finished job's trace and fails unless it is valid
+// Chrome trace-format JSON with at least one event (the job span).
+func checkTrace(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var parsed struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&parsed); err != nil {
+		return fmt.Errorf("invalid trace JSON: %w", err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		return fmt.Errorf("trace has no events; the job span never reached the recorder")
+	}
+	fmt.Printf("optima-server: trace ok (%d events)\n", len(parsed.TraceEvents))
 	return nil
 }
 

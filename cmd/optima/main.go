@@ -65,6 +65,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -73,6 +74,7 @@ import (
 	"optima/internal/engine"
 	"optima/internal/exp"
 	"optima/internal/mult"
+	"optima/internal/obs"
 	"optima/internal/refdata"
 	"optima/internal/report"
 	"optima/internal/stats"
@@ -137,6 +139,9 @@ type engineOpts struct {
 	conditions *string
 	cpuProfile *string
 	memProfile *string
+	traceOut   *string
+	logLevel   *string
+	slowEval   *time.Duration
 }
 
 // engineFlags registers the shared evaluation-engine flags. -conditions is
@@ -165,13 +170,31 @@ func (eo *engineOpts) cacheFlags(fs *flag.FlagSet) {
 		"evict cache segments older than this when the store opens (e.g. 720h; 0 = unlimited)")
 }
 
-// profileFlags registers the pprof flags (for subcommands that register
-// their engine flags piecemeal, like search and speedup).
+// profileFlags registers the pprof and observability flags (for
+// subcommands that register their engine flags piecemeal, like search and
+// speedup).
 func (eo *engineOpts) profileFlags(fs *flag.FlagSet) {
 	eo.cpuProfile = fs.String("cpuprofile", "",
 		"write a pprof CPU profile of the run to this file (analyze with `go tool pprof`)")
 	eo.memProfile = fs.String("memprofile", "",
 		"write a pprof heap profile to this file when the run finishes")
+	eo.traceOut = fs.String("trace-out", "",
+		"write a Chrome trace-format JSON timeline of the run to this file (open in Perfetto or chrome://tracing)")
+	eo.logLevel = fs.String("log-level", "info",
+		"structured log level: debug, info, warn or error")
+	eo.slowEval = fs.Duration("slow-eval", 0,
+		"log a warning for any single backend evaluation slower than this (e.g. 2s; 0 = off)")
+}
+
+// setupLogging installs the process-wide structured logger at the
+// -log-level threshold.
+func setupLogging(level string) error {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	return nil
 }
 
 // conditionsFlag registers the operating-condition-set flag.
@@ -202,6 +225,11 @@ func (eo engineOpts) conditionSet() (engine.ConditionSet, error) {
 // calibration. Callers should defer ctx.Close() so the persistent store
 // flushes.
 func makeContext(modelPath string, quick bool, eo engineOpts) (*exp.Context, error) {
+	if eo.logLevel != nil {
+		if err := setupLogging(*eo.logLevel); err != nil {
+			return nil, err
+		}
+	}
 	if err := engine.ValidateBackendName(eo.backendName()); err != nil {
 		return nil, err
 	}
@@ -251,6 +279,21 @@ func makeContext(modelPath string, quick bool, eo engineOpts) (*exp.Context, err
 	if eo.memProfile != nil {
 		ctx.MemProfile = *eo.memProfile
 	}
+	if eo.traceOut != nil {
+		ctx.TraceOut = *eo.traceOut
+	}
+	// Every run records telemetry: the engine and store register their
+	// counters and spans against the recorder, printEngineStats renders
+	// the end-of-run summary, and -trace-out exports the span timeline.
+	// Timing never feeds results, so artifacts stay byte-identical.
+	var slowEval time.Duration
+	if eo.slowEval != nil {
+		slowEval = *eo.slowEval
+	}
+	ctx.Recorder = obs.NewRecorder(obs.RecorderOptions{
+		SlowEval: slowEval,
+		Logger:   slog.Default(),
+	})
 	// The CPU profile runs until ctx.Close (which also snapshots the heap),
 	// so it covers exactly the experiment work between here and the caller's
 	// deferred Close.
@@ -639,10 +682,31 @@ func runAll(args []string) error {
 }
 
 // printEngineStats logs the evaluation-cache accounting, including the
-// persistent store's contents when one is attached.
+// persistent store's contents when one is attached, and the run's
+// telemetry summary (every non-zero metric the recorder accumulated).
 func printEngineStats(ctx *exp.Context) {
 	fmt.Printf("engine [%s]: %v\n", ctx.Engine().Backend().Name(), ctx.Engine().Stats())
 	if st := ctx.Store(); st != nil {
 		fmt.Printf("result store [%s]: %v\n", st.Dir(), st.Stats())
+	}
+	printTelemetry(ctx.Recorder)
+}
+
+// printTelemetry renders the recorder's non-zero metrics as the
+// end-of-run summary table.
+func printTelemetry(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	samples := rec.Metrics().Samples()
+	if len(samples) == 0 {
+		return
+	}
+	fmt.Println("telemetry:")
+	for _, s := range samples {
+		fmt.Printf("  %-55s %g\n", s.Name, s.Value)
+	}
+	if d := rec.Dropped(); d > 0 {
+		fmt.Printf("  (span ring overflowed: %d oldest spans overwritten)\n", d)
 	}
 }

@@ -60,6 +60,7 @@ func runSearch(args []string) error {
 		Finalists:  *finalists,
 		Refine:     *refine,
 		Seed:       *seed,
+		Recorder:   ctx.Recorder,
 	}
 	if *promote {
 		if opts.Final, err = ctx.EngineFor(engine.BackendGolden); err != nil {

@@ -56,4 +56,18 @@
 // drain) abandons only unstarted work without memoizing it, and results
 // reuse the search package's JSON report shapes — byte-identical to the
 // optima search CLI at any worker count.
+//
+// internal/obs is the cross-cutting telemetry layer (stdlib only): a
+// lock-cheap ring-buffer span recorder with an injected monotonic clock
+// and a metrics registry of counters, gauges, and histograms. Every layer
+// instruments against one obs.Recorder — engine batches and backend
+// evaluations, golden trim calibrations and their per-code transients,
+// store opens/migrations/compactions and hot-path hits, search rungs, and
+// server job lifecycles. The spans export as Chrome trace-format JSON
+// (the CLIs' -trace-out flag, the server's per-job trace endpoint; opens
+// in Perfetto), the metrics as Prometheus text on the server's GET
+// /metrics and as the CLIs' end-of-run summary. A nil recorder disables
+// everything at near-zero cost, timing never feeds results (artifacts
+// stay byte-identical with telemetry on or off), and the deterministic
+// packages never read the wall clock — the recorder owns the clock.
 package optima

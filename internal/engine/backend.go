@@ -9,6 +9,7 @@ import (
 	"optima/internal/core"
 	"optima/internal/device"
 	"optima/internal/mult"
+	"optima/internal/obs"
 	"optima/internal/sched"
 	"optima/internal/spice"
 	"optima/internal/sram"
@@ -161,6 +162,9 @@ type Golden struct {
 
 	mu    sync.Mutex
 	trims map[mult.Config]*trimEntry
+	// trimCtr mirrors trimCals into an attached recorder's registry
+	// (Engine.WithRecorder → setRecorder); nil when none is attached.
+	trimCtr *obs.Counter
 	// trimCals counts trim calibrations actually run (observability for
 	// tests and the trim-cache benchmark).
 	trimCals atomic.Int64
@@ -189,6 +193,16 @@ func (*Golden) Name() string { return BackendGolden }
 // (singleflight).
 func (g *Golden) TrimCalibrations() int64 { return g.trimCals.Load() }
 
+// setRecorder wires the backend's trim-calibration counter into a
+// recorder's registry; a nil recorder detaches it (nil handles no-op).
+func (g *Golden) setRecorder(rec *obs.Recorder) {
+	ctr := rec.Metrics().Counter("optima_trim_calibrations_total",
+		"golden ADC trim calibrations run (16 transients each)")
+	g.mu.Lock()
+	g.trimCtr = ctr
+	g.mu.Unlock()
+}
+
 // trimFor returns the configuration's ADC trim, calibrating on first use
 // with up to intra workers. Concurrent first calls of the same
 // configuration share one calibration: the first claims a cache entry and
@@ -196,7 +210,7 @@ func (g *Golden) TrimCalibrations() int64 { return g.trimCals.Load() }
 // pattern as the engine's result cache). Errors are cached — the
 // calibration is deterministic, so a failing configuration fails the same
 // way every time.
-func (g *Golden) trimFor(cfg mult.Config, intra int) (mult.GoldenTrim, error) {
+func (g *Golden) trimFor(cfg mult.Config, intra int, rec *obs.Recorder, parent obs.SpanID) (mult.GoldenTrim, error) {
 	g.mu.Lock()
 	if g.trims == nil {
 		g.trims = map[mult.Config]*trimEntry{}
@@ -208,9 +222,16 @@ func (g *Golden) trimFor(cfg mult.Config, intra int) (mult.GoldenTrim, error) {
 	}
 	ent := &trimEntry{done: make(chan struct{})}
 	g.trims[cfg] = ent
+	ctr := g.trimCtr
 	g.mu.Unlock()
 
 	g.trimCals.Add(1)
+	ctr.Inc()
+	var arg string
+	if rec != nil {
+		arg = fmt.Sprintf("%v", cfg)
+	}
+	span := rec.StartSpan(parent, obs.CatTrim, "trim-calibrate", arg)
 	func() {
 		// done closes on every path: a panicking calibration is recovered
 		// into the entry's error so waiters never block on a dead claim.
@@ -220,8 +241,9 @@ func (g *Golden) trimFor(cfg mult.Config, intra int) (mult.GoldenTrim, error) {
 			}
 			close(ent.done)
 		}()
-		ent.trim, ent.err = mult.CalibrateGoldenTrimParallel(g.Tech, cfg, g.Spice, intra)
+		ent.trim, ent.err = mult.CalibrateGoldenTrimObserved(g.Tech, cfg, g.Spice, intra, rec, span.ID())
 	}()
+	span.End()
 	return ent.trim, ent.err
 }
 
@@ -256,7 +278,16 @@ func (g *Golden) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 // order, so the result is byte-identical to the serial path at any worker
 // count — the engine's content-addressed cache contract.
 func (g *Golden) EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Metrics, error) {
-	trim, err := g.trimFor(cfg, intra)
+	return g.evaluateObserved(cfg, cond, intra, nil, 0)
+}
+
+// evaluateObserved is the golden evaluation with telemetry: a trim span
+// (with per-transient children) on a cold configuration, and one phase
+// span each for the input-space fan-out and the Monte-Carlo sigma pass,
+// all under parent. A nil recorder records nothing — this IS the plain
+// EvaluateBudget path — and timing never feeds into the returned Metrics.
+func (g *Golden) evaluateObserved(cfg mult.Config, cond device.PVT, intra int, rec *obs.Recorder, parent obs.SpanID) (Metrics, error) {
+	trim, err := g.trimFor(cfg, intra, rec, parent)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -277,6 +308,11 @@ func (g *Golden) EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Me
 	for i := range pairIdx {
 		pairIdx[i] = i
 	}
+	var pairArg string
+	if rec != nil {
+		pairArg = fmt.Sprintf("%d pairs", len(pairIdx))
+	}
+	pairSpan := rec.StartSpan(parent, obs.CatPhase, "input-space", pairArg)
 	pairs, err := sched.Map(intra, pairIdx, func(_ int, i int) (pairRes, error) {
 		scr, _ := scratch.Get().(*spice.Scratch)
 		if scr == nil {
@@ -289,6 +325,7 @@ func (g *Golden) EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Me
 		}
 		return pairRes{eps: math.Abs(float64(r.ErrorLSB())), energy: r.Energy}, nil
 	})
+	pairSpan.End()
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -307,6 +344,11 @@ func (g *Golden) EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Me
 	for s := range sampleIdx {
 		sampleIdx[s] = s
 	}
+	var mcArg string
+	if rec != nil {
+		mcArg = fmt.Sprintf("%d samples", GoldenSigmaSamples)
+	}
+	mcSpan := rec.StartSpan(parent, obs.CatPhase, "monte-carlo", mcArg)
 	vcombs, err := sched.Map(intra, sampleIdx, func(_ int, s int) (float64, error) {
 		scr, _ := scratch.Get().(*spice.Scratch)
 		if scr == nil {
@@ -321,6 +363,7 @@ func (g *Golden) EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Me
 		}
 		return r.VComb, nil
 	})
+	mcSpan.End()
 	if err != nil {
 		return Metrics{}, err
 	}

@@ -10,6 +10,7 @@ import (
 	"optima/internal/device"
 	"optima/internal/dse"
 	"optima/internal/engine"
+	"optima/internal/obs"
 	"optima/internal/store"
 )
 
@@ -176,4 +177,25 @@ func BenchmarkEngineSweep(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRecorderOverhead pins the tentpole's cost ceiling: the same
+// cold 48-corner sweep with no recorder vs a fully attached one (spans +
+// counters + histograms on every evaluation). CI gates the instrumented
+// case like any other benchmark; the target is < 5% ns/op over nil.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	model := benchModelFixture(b)
+	jobs := benchJobs()
+	run := func(rec *obs.Recorder) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := engine.New(engine.Behavioral{Model: model}, runtime.NumCPU()).WithRecorder(rec)
+				if _, err := eng.EvaluateAll(jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("nil", run(nil))
+	b.Run("instrumented", run(obs.NewRecorder(obs.RecorderOptions{})))
 }

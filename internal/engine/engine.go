@@ -60,6 +60,7 @@ import (
 
 	"optima/internal/device"
 	"optima/internal/mult"
+	"optima/internal/obs"
 	"optima/internal/sched"
 )
 
@@ -160,6 +161,36 @@ type entry struct {
 	err  error
 }
 
+// engineMetrics holds the engine's instrument handles. The zero value —
+// no recorder attached — is fully inert: every handle is nil, and every
+// obs method no-ops on a nil receiver, so the instrumented paths never
+// branch on "is telemetry on".
+type engineMetrics struct {
+	hitsMem   *obs.Counter
+	hitsStore *obs.Counter
+	evals     *obs.Counter
+	storeErrs *obs.Counter
+	evalDur   *obs.Histogram
+	queueWait *obs.Histogram
+	busy      *obs.Gauge
+}
+
+func newEngineMetrics(rec *obs.Recorder, backend string) engineMetrics {
+	if rec == nil {
+		return engineMetrics{}
+	}
+	reg := rec.Metrics()
+	return engineMetrics{
+		hitsMem:   reg.Counter("optima_cache_hits_total", "evaluations served from a cache tier", "tier", "memory"),
+		hitsStore: reg.Counter("optima_cache_hits_total", "evaluations served from a cache tier", "tier", "store"),
+		evals:     reg.Counter("optima_evals_total", "backend evaluations run", "backend", backend),
+		storeErrs: reg.Counter("optima_store_errors_total", "failed best-effort store writes"),
+		evalDur:   reg.Histogram("optima_eval_duration_seconds", "backend evaluation wall time", nil, "backend", backend),
+		queueWait: reg.Histogram("optima_queue_wait_seconds", "delay between batch submission and a cell starting on the backend", nil),
+		busy:      reg.Gauge("optima_workers_busy", "evaluations currently running on the backend"),
+	}
+}
+
 // Engine is a memoizing concurrent evaluation service over one backend.
 // All methods are safe for concurrent use.
 type Engine struct {
@@ -173,6 +204,8 @@ type Engine struct {
 	diskHits  uint64
 	misses    uint64
 	storeErrs uint64
+	rec       *obs.Recorder
+	em        engineMetrics
 }
 
 // New returns an engine over the given backend. workers bounds the worker
@@ -189,6 +222,38 @@ func (e *Engine) WithStore(s Store) *Engine {
 	e.store = s
 	e.mu.Unlock()
 	return e
+}
+
+// WithRecorder attaches a telemetry recorder and returns the engine (for
+// chaining, like WithStore): spans for every backend evaluation and batch,
+// cache-tier / eval-duration / queue-wait metrics into the recorder's
+// registry. Timing data never flows into results — Metrics (and therefore
+// everything cached or persisted) are byte-identical with or without a
+// recorder, at any worker count. A per-submission BatchOptions.Recorder
+// overrides this one.
+func (e *Engine) WithRecorder(rec *obs.Recorder) *Engine {
+	e.mu.Lock()
+	e.rec = rec
+	e.em = newEngineMetrics(rec, e.backend.Name())
+	e.mu.Unlock()
+	if g, ok := e.backend.(*Golden); ok {
+		g.setRecorder(rec)
+	}
+	return e
+}
+
+// obsFor resolves one submission's telemetry: an explicit per-batch
+// recorder wins over the engine's own; instrument handles are rebuilt only
+// for a foreign recorder (registration is idempotent, so handles resolve
+// to the same series either way).
+func (e *Engine) obsFor(rec *obs.Recorder) (*obs.Recorder, engineMetrics) {
+	e.mu.Lock()
+	own, em := e.rec, e.em
+	e.mu.Unlock()
+	if rec == nil || rec == own {
+		return own, em
+	}
+	return rec, newEngineMetrics(rec, e.backend.Name())
 }
 
 // Backend returns the engine's backend.
@@ -232,8 +297,13 @@ func (e *Engine) splitBudget(n int) (jobWorkers, intra, extra int) {
 }
 
 // evalBackend runs one job on the backend, granting the intra-job budget
-// when the backend can use it.
-func (e *Engine) evalBackend(key Key, intra int) (Metrics, error) {
+// when the backend can use it. With a recorder, the golden backend takes
+// its observed path so the intra-worker fan-out (trim transients,
+// input-space and Monte-Carlo phases) shows up under the eval's span.
+func (e *Engine) evalBackend(key Key, intra int, rec *obs.Recorder, parent obs.SpanID) (Metrics, error) {
+	if g, ok := e.backend.(*Golden); ok && rec != nil {
+		return g.evaluateObserved(key.Config, key.Cond, intra, rec, parent)
+	}
 	if ib, ok := e.backend.(IntraBackend); ok && intra != 1 {
 		return ib.EvaluateBudget(key.Config, key.Cond, intra)
 	}
@@ -243,15 +313,25 @@ func (e *Engine) evalBackend(key Key, intra int) (Metrics, error) {
 // runClaimed resolves a claimed cache entry against the backend. The done
 // channel closes on every path: a panicking backend is recovered into the
 // entry's error, so concurrent submitters of the key never block forever
-// on a dead claim.
-func (e *Engine) runClaimed(ent *entry, key Key, intra int) {
+// on a dead claim. The eval span and its metrics resolve in the same
+// deferred step — panics are timed and counted like any other evaluation.
+func (e *Engine) runClaimed(ent *entry, key Key, intra int, rec *obs.Recorder, parent obs.SpanID, em engineMetrics) {
+	var arg string
+	if rec != nil {
+		arg = fmt.Sprintf("%v @ %v", key.Config, key.Cond)
+	}
+	span := rec.StartSpan(parent, obs.CatEval, key.Backend, arg)
+	em.busy.Add(1)
 	defer func() {
 		if r := recover(); r != nil {
 			ent.err = fmt.Errorf("engine: %s backend panicked on corner %v at %v: %v", key.Backend, key.Config, key.Cond, r)
 		}
+		em.busy.Add(-1)
+		em.evals.Inc()
+		em.evalDur.Observe(span.End().Seconds())
 		close(ent.done)
 	}()
-	ent.met, ent.err = e.evalBackend(key, intra)
+	ent.met, ent.err = e.evalBackend(key, intra, rec, span.ID())
 }
 
 // Stats returns a snapshot of the cache accounting.
@@ -280,13 +360,16 @@ func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 	e.mu.Lock()
 	if ent, ok := e.cache[key]; ok {
 		e.hits++
+		em := e.em
 		e.mu.Unlock()
+		em.hitsMem.Inc()
 		<-ent.done
 		return ent.met, ent.err
 	}
 	ent := &entry{done: make(chan struct{})}
 	e.cache[key] = ent
 	store := e.store
+	rec, em := e.rec, e.em
 	e.mu.Unlock()
 
 	if store != nil {
@@ -295,6 +378,7 @@ func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 				e.mu.Lock()
 				e.diskHits++
 				e.mu.Unlock()
+				em.hitsStore.Inc()
 			}
 			return ent.met, ent.err
 		}
@@ -304,9 +388,9 @@ func (e *Engine) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
 	e.misses++
 	e.mu.Unlock()
 	// A single submission is the whole fan-out, so it gets the full budget.
-	e.runClaimed(ent, key, e.Workers())
+	e.runClaimed(ent, key, e.Workers(), rec, 0, em)
 	if store != nil && ent.err == nil {
-		e.persist([]CacheEntry{{Key: key, Met: ent.met}})
+		e.persist([]CacheEntry{{Key: key, Met: ent.met}}, em)
 	}
 	return ent.met, ent.err
 }
@@ -337,7 +421,7 @@ func (e *Engine) storeResolve(store Store, key Key, ent *entry) (resolved bool) 
 
 // persist writes freshly computed results to the store tier, best-effort:
 // a failing store never fails an evaluation, it only loses cache warmth.
-func (e *Engine) persist(batch []CacheEntry) {
+func (e *Engine) persist(batch []CacheEntry, em engineMetrics) {
 	if len(batch) == 0 {
 		return
 	}
@@ -345,6 +429,7 @@ func (e *Engine) persist(batch []CacheEntry) {
 		e.mu.Lock()
 		e.storeErrs++
 		e.mu.Unlock()
+		em.storeErrs.Inc()
 	}
 }
 
@@ -367,6 +452,16 @@ type BatchOptions struct {
 	// done is monotone, but they arrive from worker goroutines — keep the
 	// callback fast and do not submit engine work from it.
 	OnProgress func(done, total int)
+	// Recorder, when non-nil, receives this submission's telemetry — the
+	// batch/store-lookup/per-cell eval spans and the cache-tier, eval and
+	// queue-wait metrics — overriding any engine-level recorder
+	// (WithRecorder). Timing never feeds back into results: returned
+	// Metrics are byte-identical with or without a recorder, at any
+	// worker count.
+	Recorder *obs.Recorder
+	// ParentSpan parents the submission's batch span (0 = root) — a
+	// server job span, a search rung span.
+	ParentSpan obs.SpanID
 }
 
 // ctx returns the submission's context, defaulting to Background.
@@ -417,6 +512,14 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 	if err := ctx.Err(); err != nil {
 		return nil, err // canceled before anything was claimed
 	}
+	rec, em := e.obsFor(opts.Recorder)
+	var batchArg string
+	if rec != nil {
+		batchArg = fmt.Sprintf("%d jobs", len(jobs))
+	}
+	bspan := rec.StartSpan(opts.ParentSpan, obs.CatBatch, "evaluate-batch", batchArg)
+	defer bspan.End()
+	batchStart := rec.Now()
 	var progMu sync.Mutex
 	resolved := 0
 	advance := func(n int) {
@@ -435,6 +538,7 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 	ents := make([]*entry, len(jobs))
 	owned := make(map[Key]*entry)
 	var ownedKeys []Key
+	var memHits uint64
 	e.mu.Lock()
 	store := e.store
 	for i, j := range jobs {
@@ -443,6 +547,7 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 			// Cached, in flight elsewhere, or a duplicate earlier in this
 			// batch — all share the entry.
 			e.hits++
+			memHits++
 			ents[i] = ent
 			continue
 		}
@@ -453,6 +558,7 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 		ents[i] = ent
 	}
 	e.mu.Unlock()
+	em.hitsMem.Add(float64(memHits))
 
 	// Phase 2: store tier. The index lookup is memory-speed, so this stays
 	// serial; only true misses proceed to the backend. A cancellation here
@@ -460,6 +566,11 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 	// abandons them.
 	toRun := ownedKeys
 	if store != nil && len(ownedKeys) > 0 {
+		var lookupArg string
+		if rec != nil {
+			lookupArg = fmt.Sprintf("%d keys", len(ownedKeys))
+		}
+		lookup := rec.StartSpan(bspan.ID(), obs.CatStore, "lookup", lookupArg)
 		toRun = toRun[:0]
 		var fromDisk uint64
 		for n, key := range ownedKeys {
@@ -475,10 +586,12 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 			}
 			toRun = append(toRun, key)
 		}
+		lookup.End()
 		if fromDisk > 0 {
 			e.mu.Lock()
 			e.diskHits += fromDisk
 			e.mu.Unlock()
+			em.hitsStore.Add(float64(fromDisk))
 		}
 	}
 	// Everything the batch does not compute itself — memory and store hits,
@@ -503,7 +616,8 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 				if i < extra {
 					grant++
 				}
-				e.runClaimed(owned[key], key, grant)
+				em.queueWait.Observe((rec.Now() - batchStart).Seconds())
+				e.runClaimed(owned[key], key, grant, rec, bspan.ID(), em)
 			}
 			advance(1)
 			return struct{}{}, nil
@@ -525,7 +639,7 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 					batch = append(batch, CacheEntry{Key: key, Met: ent.met})
 				}
 			}
-			e.persist(batch)
+			e.persist(batch, em)
 		}
 	}
 

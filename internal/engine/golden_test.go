@@ -22,14 +22,14 @@ func TestGoldenTrimCachedAcrossConditions(t *testing.T) {
 	backend := NewGoldenBackend(calib.Tech, calib.Spice)
 	cfg := mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0}
 
-	first, err := backend.trimFor(cfg, 1)
+	first, err := backend.trimFor(cfg, 1, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.LSBVolt <= 0 || first.Transients != mult.OperandMax+1 {
 		t.Fatalf("implausible trim %+v", first)
 	}
-	second, err := backend.trimFor(cfg, 1)
+	second, err := backend.trimFor(cfg, 1, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestGoldenTrimCachedAcrossConditions(t *testing.T) {
 
 	// A different configuration calibrates its own trim.
 	other := mult.Config{Tau0: 0.20e-9, VDAC0: 0.3, VDACFS: 1.0}
-	if _, err := backend.trimFor(other, 1); err != nil {
+	if _, err := backend.trimFor(other, 1, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := backend.TrimCalibrations(); got != 2 {
@@ -52,10 +52,10 @@ func TestGoldenTrimCachedAcrossConditions(t *testing.T) {
 	// The zero value must work too (lazy map init).
 	var zero Golden
 	zero.Tech, zero.Spice = calib.Tech, calib.Spice
-	if _, err := zero.trimFor(cfg, 1); err != nil {
+	if _, err := zero.trimFor(cfg, 1, nil, 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := zero.trimFor(cfg, 1); err != nil {
+	if _, err := zero.trimFor(cfg, 1, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := zero.TrimCalibrations(); got != 1 {
@@ -80,7 +80,7 @@ func TestGoldenTrimSingleflightConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			trims[i], errs[i] = backend.trimFor(cfg, 1)
+			trims[i], errs[i] = backend.trimFor(cfg, 1, nil, 0)
 		}(i)
 	}
 	wg.Wait()
@@ -162,12 +162,12 @@ func BenchmarkGoldenTrim(b *testing.B) {
 	})
 	b.Run("cached", func(b *testing.B) {
 		backend := NewGoldenBackend(trimBenchTech, trimBenchCfg)
-		if _, err := backend.trimFor(cfg, 1); err != nil {
+		if _, err := backend.trimFor(cfg, 1, nil, 0); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := backend.trimFor(cfg, 1); err != nil {
+			if _, err := backend.trimFor(cfg, 1, nil, 0); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"optima/internal/obs"
+)
+
+// TestRecorderInvariantResults is the tentpole's core guarantee at the
+// engine layer: attaching a recorder — at any worker count — changes no
+// evaluation result, byte for byte. Timing flows into spans and
+// histograms only, never into metrics.
+func TestRecorderInvariantResults(t *testing.T) {
+	jobs := testJobs(24)
+	run := func(workers int, rec *obs.Recorder) []byte {
+		eng := New(&fakeBackend{}, workers)
+		eng.WithRecorder(rec)
+		mets, err := eng.EvaluateAll(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(mets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	base := run(1, nil)
+	cases := []struct {
+		name    string
+		workers int
+		rec     *obs.Recorder
+	}{
+		{"recorder-workers1", 1, obs.NewRecorder(obs.RecorderOptions{})},
+		{"nil-workers8", 8, nil},
+		{"recorder-workers8", 8, obs.NewRecorder(obs.RecorderOptions{})},
+	}
+	for _, tc := range cases {
+		if got := run(tc.workers, tc.rec); !bytes.Equal(base, got) {
+			t.Errorf("%s: results differ from the nil-recorder single-worker run", tc.name)
+		}
+	}
+}
+
+// TestEngineTelemetry checks the instruments the engine drives: eval and
+// cache-hit counters, the duration histograms, and the span forest of a
+// batch (one batch root, one eval span per miss, nested correctly).
+func TestEngineTelemetry(t *testing.T) {
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	eng := New(&fakeBackend{}, 4).WithRecorder(rec)
+	jobs := testJobs(10)
+
+	if _, err := eng.EvaluateAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	reg := rec.Metrics()
+	if got := reg.Counter("optima_evals_total", "", "backend", "fake").Value(); got != 10 {
+		t.Errorf("evals counter = %v, want 10", got)
+	}
+	if got := reg.Histogram("optima_eval_duration_seconds", "", nil, "backend", "fake").Count(); got != 10 {
+		t.Errorf("eval duration observations = %v, want 10", got)
+	}
+	if got := reg.Histogram("optima_queue_wait_seconds", "", nil).Count(); got != 10 {
+		t.Errorf("queue wait observations = %v, want 10", got)
+	}
+
+	// Warm pass: every job is a memory-tier hit, no new evals.
+	if _, err := eng.EvaluateAll(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("optima_evals_total", "", "backend", "fake").Value(); got != 10 {
+		t.Errorf("evals counter after warm pass = %v, want 10 (hits must not evaluate)", got)
+	}
+	if got := reg.Counter("optima_cache_hits_total", "", "tier", "memory").Value(); got != 10 {
+		t.Errorf("memory hits = %v, want 10", got)
+	}
+
+	spans := rec.Snapshot()
+	var batches, evals int
+	var root obs.SpanID
+	for _, s := range spans {
+		switch s.Cat {
+		case obs.CatBatch:
+			batches++
+			if batches == 1 {
+				root = s.ID
+			}
+		case obs.CatEval:
+			evals++
+			if s.Parent == 0 {
+				t.Errorf("eval span %d has no parent batch", s.ID)
+			}
+		}
+	}
+	if batches != 2 || evals != 10 {
+		t.Errorf("spans: %d batches and %d evals, want 2 and 10", batches, evals)
+	}
+	if got := len(obs.Subtree(spans, root)); got == 0 {
+		t.Error("first batch has an empty subtree")
+	}
+}
+
+// TestBatchRecorderOverride checks BatchOptions.Recorder: a per-batch
+// recorder wins over the engine-level one, and its spans parent under the
+// given ParentSpan.
+func TestBatchRecorderOverride(t *testing.T) {
+	engineRec := obs.NewRecorder(obs.RecorderOptions{})
+	batchRec := obs.NewRecorder(obs.RecorderOptions{})
+	eng := New(&fakeBackend{}, 2).WithRecorder(engineRec)
+
+	parent := batchRec.Start(obs.CatJob, "test-job")
+	if _, err := eng.EvaluateBatchOpts(testJobs(4), BatchOptions{
+		Recorder:   batchRec,
+		ParentSpan: parent.ID(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	parent.End()
+
+	if n := len(engineRec.Snapshot()); n != 0 {
+		t.Errorf("engine recorder captured %d spans, want 0 (batch recorder overrides)", n)
+	}
+	spans := batchRec.Snapshot()
+	if got := len(obs.Subtree(spans, parent.ID())); got < 5 { // job + batch + 4 evals
+		t.Errorf("job subtree has %d spans, want >= 5", got)
+	}
+	if got := batchRec.Metrics().Counter("optima_evals_total", "", "backend", "fake").Value(); got != 4 {
+		t.Errorf("batch recorder evals = %v, want 4", got)
+	}
+}

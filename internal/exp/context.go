@@ -16,6 +16,7 @@ import (
 	"optima/internal/device"
 	"optima/internal/dse"
 	"optima/internal/engine"
+	"optima/internal/obs"
 	"optima/internal/spice"
 	"optima/internal/store"
 )
@@ -64,6 +65,17 @@ type Context struct {
 	// -cpuprofile/-memprofile flags (see profile.go).
 	CPUProfile string
 	MemProfile string
+	// Recorder, when non-nil, is the session's telemetry sink: the engine
+	// (and any EngineFor engines) records spans and metrics into it, the
+	// persistent store wires its counters and gauges through it, and the
+	// CLIs render its registry as an end-of-run summary. Set it before the
+	// first evaluation. When TraceOut is set and Recorder is nil, Engine
+	// creates one.
+	Recorder *obs.Recorder
+	// TraceOut, when non-empty, is a file path Close writes the session's
+	// spans to as Chrome trace-format JSON (opens in Perfetto or
+	// chrome://tracing). Wired to the CLIs' -trace-out flag.
+	TraceOut string
 
 	engOnce      sync.Once
 	eng          *engine.Engine
@@ -122,12 +134,17 @@ func (c *Context) Engine() *engine.Engine {
 		if err != nil {
 			panic(fmt.Sprintf("exp: %v", err))
 		}
+		if c.Recorder == nil && c.TraceOut != "" {
+			c.Recorder = obs.NewRecorder(obs.RecorderOptions{})
+		}
 		c.eng = engine.New(backend, c.Workers)
+		c.eng.WithRecorder(c.Recorder)
 		if c.CacheDir != "" {
 			st, err := store.Open(c.CacheDir, store.Options{
 				Fingerprint: c.Fingerprint(),
 				MaxBytes:    c.CacheMaxBytes,
 				MaxAge:      c.CacheMaxAge,
+				Recorder:    c.Recorder,
 			})
 			if err != nil {
 				// Degrade to the memory-only cache but keep the cause: a
@@ -175,6 +192,7 @@ func (c *Context) EngineFor(name string) (*engine.Engine, error) {
 		return nil, fmt.Errorf("exp: %w", err)
 	}
 	eng := engine.New(backend, c.Workers)
+	eng.WithRecorder(c.Recorder)
 	if c.resultStore != nil {
 		eng.WithStore(c.resultStore)
 	}
@@ -205,17 +223,42 @@ func (c *Context) Store() *store.Store { return c.resultStore }
 func (c *Context) StoreError() error { return c.storeErr }
 
 // Close finishes the session: any running CPU profile is stopped and the
-// heap profile written (profile.go), then the persistent result store, if
-// any, is flushed and closed. Safe to call on a context that never
-// evaluated anything.
+// heap profile written (profile.go), the trace file is written when
+// TraceOut is set, then the persistent result store, if any, is flushed
+// and closed. Safe to call on a context that never evaluated anything.
 func (c *Context) Close() error {
 	err := c.stopProfiling()
+	if terr := c.writeTrace(); err == nil {
+		err = terr
+	}
 	if c.resultStore != nil {
 		if serr := c.resultStore.Close(); err == nil {
 			err = serr
 		}
 	}
 	return err
+}
+
+// writeTrace exports the session's spans to TraceOut as Chrome trace-format
+// JSON. Written once: a second Close is a no-op.
+func (c *Context) writeTrace() error {
+	if c.TraceOut == "" || c.Recorder == nil {
+		return nil
+	}
+	path := c.TraceOut
+	c.TraceOut = ""
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("exp: trace: %w", err)
+	}
+	werr := c.Recorder.WriteTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("exp: trace: %w", werr)
+	}
+	return nil
 }
 
 // Sweep returns the cached 48-corner DSE sweep, running it on first use.

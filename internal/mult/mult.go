@@ -24,6 +24,7 @@ import (
 	"optima/internal/core"
 	"optima/internal/device"
 	"optima/internal/events"
+	"optima/internal/obs"
 	"optima/internal/sched"
 	"optima/internal/spice"
 	"optima/internal/sram"
@@ -417,6 +418,14 @@ func CalibrateGoldenTrim(tech device.Tech, cfg Config, scfg spice.Config) (Golde
 // and the least-squares fit reduces serially in code order, so the trim is
 // identical at any worker count.
 func CalibrateGoldenTrimParallel(tech device.Tech, cfg Config, scfg spice.Config, workers int) (GoldenTrim, error) {
+	return CalibrateGoldenTrimObserved(tech, cfg, scfg, workers, nil, 0)
+}
+
+// CalibrateGoldenTrimObserved is CalibrateGoldenTrimParallel recording one
+// trim-transient span per input code under parent — the intra-worker
+// fan-out a trace otherwise renders as one opaque calibration block. A nil
+// recorder records nothing; timing never feeds into the returned trim.
+func CalibrateGoldenTrimObserved(tech device.Tech, cfg Config, scfg spice.Config, workers int, rec *obs.Recorder, parent obs.SpanID) (GoldenTrim, error) {
 	if err := cfg.Validate(); err != nil {
 		return GoldenTrim{}, err
 	}
@@ -428,10 +437,15 @@ func CalibrateGoldenTrimParallel(tech device.Tech, cfg Config, scfg spice.Config
 		codes[a] = uint(a)
 	}
 	dv, err := sched.Map(workers, codes, func(_ int, a uint) ([OperandBits]float64, error) {
+		var span obs.Timer
+		if rec != nil {
+			span = rec.StartSpan(parent, obs.CatTrim, "trim-transient", fmt.Sprintf("code %d", a))
+		}
 		var row [OperandBits]float64
 		vwl := cfg.DACVoltage(a, nominal.VDD)
 		dp := spice.NewDischargePath(tech, vwl, nominal)
 		res, err := dp.Discharge(cfg.MaxTime(), scfg, 0)
+		span.End()
 		if err != nil {
 			return row, fmt.Errorf("mult: golden trim calibration: %w", err)
 		}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one Chrome trace-format "complete" event (ph "X").
+// Timestamps and durations are microseconds; Perfetto and chrome://tracing
+// load the {"traceEvents": [...]} envelope directly.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	DisplayUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace exports the recorder's spans as Chrome trace-format JSON.
+// Nil-safe (writes an empty trace).
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	return WriteTrace(w, r.Snapshot())
+}
+
+// WriteTrace exports spans as Chrome trace-format JSON. Spans have no
+// real thread identity — workers are anonymous goroutines — so lanes
+// (tids) are assigned greedily: a span prefers its parent's lane and
+// otherwise takes the first lane whose open spans either enclose it or
+// have already ended, which renders the natural nesting (batch > eval >
+// phase) as stacked slices in Perfetto.
+func WriteTrace(w io.Writer, spans []Span) error {
+	sorted := make([]Span, len(spans))
+	copy(sorted, spans)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Dur != b.Dur {
+			return a.Dur > b.Dur // parent before child at equal start
+		}
+		return a.ID < b.ID
+	})
+
+	type laneState struct{ stack []Span }
+	var lanes []*laneState
+	laneOf := make(map[SpanID]int, len(sorted))
+
+	place := func(l *laneState, s Span) bool {
+		for len(l.stack) > 0 && l.stack[len(l.stack)-1].End() <= s.Start {
+			l.stack = l.stack[:len(l.stack)-1]
+		}
+		if len(l.stack) == 0 || l.stack[len(l.stack)-1].End() >= s.End() {
+			l.stack = append(l.stack, s)
+			return true
+		}
+		return false
+	}
+
+	events := make([]traceEvent, 0, len(sorted))
+	for _, s := range sorted {
+		lane := -1
+		if pl, ok := laneOf[s.Parent]; ok && place(lanes[pl], s) {
+			lane = pl
+		}
+		if lane < 0 {
+			for i, l := range lanes {
+				if place(l, s) {
+					lane = i
+					break
+				}
+			}
+		}
+		if lane < 0 {
+			lanes = append(lanes, &laneState{stack: []Span{s}})
+			lane = len(lanes) - 1
+		}
+		laneOf[s.ID] = lane
+
+		args := map[string]any{}
+		if s.Parent != 0 {
+			args["parent"] = uint64(s.Parent)
+		}
+		if s.Arg != "" {
+			args["arg"] = s.Arg
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  lane + 1,
+			Args: args,
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(traceFile{TraceEvents: events, DisplayUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: encode trace: %w", err)
+	}
+	return nil
+}

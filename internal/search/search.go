@@ -10,6 +10,7 @@ import (
 	"optima/internal/dse"
 	"optima/internal/engine"
 	"optima/internal/mult"
+	"optima/internal/obs"
 )
 
 // Options configures a search run. Screen is required; everything else has
@@ -69,6 +70,13 @@ type Options struct {
 	// cells of the rung's batch. Calls are serialized per rung but arrive
 	// from engine worker goroutines; keep the callback fast.
 	OnProgress func(rung, done, total int)
+	// Recorder, when non-nil, records the run's telemetry: a search span
+	// with one child span per rung (and the promotion pass), each parenting
+	// its engine batch. Timing never feeds into the Result — it is
+	// byte-identical with or without a recorder, at any worker count.
+	Recorder *obs.Recorder
+	// Span parents the search span (0 = root) — the server's job span.
+	Span obs.SpanID
 }
 
 // Validate checks the options for values a caller — the CLI flag layer or
@@ -238,6 +246,14 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	n0 := len(pool)
 	trace := Trace{SpaceSize: len(all), Conditions: conds.String(), Sampled: n0}
 
+	rec := opts.Recorder
+	var searchArg string
+	if rec != nil {
+		searchArg = fmt.Sprintf("%d candidates, %d conditions", n0, conds.Len())
+	}
+	searchSpan := rec.StartSpan(opts.Span, obs.CatSearch, "adaptive-search", searchArg)
+	defer searchSpan.End()
+
 	// seen tracks every corner that has entered any rung's pool, so
 	// refinement never proposes a duplicate.
 	seen := make(map[mult.Config]bool, 2*n0)
@@ -259,7 +275,13 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("search: %w", err)
 		}
-		mets, rms, stats, err := evaluateRung(ctx, opts.Screen, pool, conds, robust, r, opts.OnProgress)
+		var rungArg string
+		if rec != nil {
+			rungArg = fmt.Sprintf("%d candidates", len(pool))
+		}
+		rungSpan := rec.StartSpan(searchSpan.ID(), obs.CatRung, fmt.Sprintf("rung-%d", r), rungArg)
+		mets, rms, stats, err := evaluateRung(ctx, opts.Screen, pool, conds, robust, r, opts.OnProgress, rec, rungSpan.ID())
+		rungSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -320,7 +342,13 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		// Promote the finalists to the final fidelity at EVERY condition of
 		// the set, so the robust ranking at the high fidelity sees the same
 		// excursions the screen ranked on.
-		fmets, frobust, stats, err := evaluateRung(ctx, opts.Final, survivors, conds, robust, rungs, opts.OnProgress)
+		var promoteArg string
+		if rec != nil {
+			promoteArg = fmt.Sprintf("%d finalists", len(survivors))
+		}
+		promoteSpan := rec.StartSpan(searchSpan.ID(), obs.CatRung, "promote", promoteArg)
+		fmets, frobust, stats, err := evaluateRung(ctx, opts.Final, survivors, conds, robust, rungs, opts.OnProgress, rec, promoteSpan.ID())
+		promoteSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -347,8 +375,8 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 // per-config metrics at the single condition of a nominal search, or the
 // worst-case composites (dse.RobustMetrics.Score) in robust mode — in which
 // case the full cross-condition summaries are returned alongside.
-func evaluateRung(ctx context.Context, eng *engine.Engine, pool []mult.Config, conds engine.ConditionSet, robust bool, rung int, onProgress func(rung, done, total int)) ([]dse.Metrics, []dse.RobustMetrics, RungStats, error) {
-	bo := engine.BatchOptions{Ctx: ctx}
+func evaluateRung(ctx context.Context, eng *engine.Engine, pool []mult.Config, conds engine.ConditionSet, robust bool, rung int, onProgress func(rung, done, total int), rec *obs.Recorder, parent obs.SpanID) ([]dse.Metrics, []dse.RobustMetrics, RungStats, error) {
+	bo := engine.BatchOptions{Ctx: ctx, Recorder: rec, ParentSpan: parent}
 	if onProgress != nil {
 		bo.OnProgress = func(done, total int) { onProgress(rung, done, total) }
 	}

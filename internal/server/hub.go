@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"optima/internal/obs"
 	"optima/internal/search"
 )
 
@@ -58,6 +59,11 @@ const subBuffer = 64
 
 // Hub routes job events to WebSocket subscribers, one topic per job ID.
 type Hub struct {
+	// dropped counts slow subscribers disconnected by Publish
+	// (optima_hub_dropped_total); nil until instrument — a nil counter
+	// no-ops, so the hub works unregistered (tests construct it bare).
+	dropped *obs.Counter
+
 	mu     sync.Mutex
 	topics map[string]*topic
 }
@@ -108,6 +114,7 @@ func (h *Hub) Publish(job string, ev Event) {
 		default:
 			delete(t.subs, ch)
 			close(ch)
+			h.dropped.Inc()
 		}
 	}
 	if ev.Terminal() {
@@ -149,6 +156,30 @@ func (h *Hub) Unsubscribe(job string, ch chan []byte) {
 	}
 	delete(t.subs, ch)
 	close(ch)
+}
+
+// instrument registers the hub's telemetry on a recorder: live topic and
+// subscriber gauges plus the dropped-slow-subscriber counter.
+func (h *Hub) instrument(rec *obs.Recorder) {
+	reg := rec.Metrics()
+	h.dropped = reg.Counter("optima_hub_dropped_total",
+		"WebSocket subscribers disconnected for falling behind the event stream.")
+	reg.GaugeFunc("optima_hub_topics",
+		"Live progress topics (one per job not yet dropped).",
+		func() float64 { t, _ := h.Counts(); return float64(t) })
+	reg.GaugeFunc("optima_hub_subscribers",
+		"Attached WebSocket subscribers across all topics.",
+		func() float64 { _, s := h.Counts(); return float64(s) })
+}
+
+// Counts reports the hub's live topic and subscriber totals.
+func (h *Hub) Counts() (topics, subscribers int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, t := range h.topics {
+		subscribers += len(t.subs)
+	}
+	return len(h.topics), subscribers
 }
 
 // Drop discards a topic and disconnects its subscribers — used when a

@@ -12,11 +12,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"optima/internal/dse"
 	"optima/internal/engine"
+	"optima/internal/obs"
 	"optima/internal/search"
 )
 
@@ -108,6 +110,7 @@ type job struct {
 	finished time.Time
 	stats    engine.Stats
 	result   json.RawMessage
+	span     obs.SpanID // root of the job's trace subtree; 0 until running
 }
 
 // JobStatus is the JSON view of a job.
@@ -161,6 +164,20 @@ func (j *job) currentState() string {
 	return j.state
 }
 
+func (j *job) setSpan(id obs.SpanID) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.span = id
+}
+
+// rootSpan returns the job's trace root (0 before the job started —
+// obs.Subtree maps that to an empty trace).
+func (j *job) rootSpan() obs.SpanID {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.span
+}
+
 func (j *job) status(withResult bool) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -189,9 +206,11 @@ func (j *job) status(withResult bool) JobStatus {
 }
 
 // plan is a validated, ready-to-run job: a cancellable closure plus the
-// engine accounting it should be attributed.
+// engine accounting it should be attributed. run receives the job span
+// so the engine batches (and search rungs) it triggers nest under the
+// job in the trace.
 type plan struct {
-	run   func(context.Context) (any, error)
+	run   func(ctx context.Context, parent obs.SpanID) (any, error)
 	stats func() engine.Stats
 }
 
@@ -243,10 +262,12 @@ func (s *Server) buildPlan(req JobRequest, jobID string) (plan, error) {
 			return plan{}, fmt.Errorf("the space has no valid corners")
 		}
 		return plan{
-			run: func(ctx context.Context) (any, error) {
+			run: func(ctx context.Context, parent obs.SpanID) (any, error) {
 				mat, err := eng.EvaluateMatrixOpts(cfgs, conds, engine.BatchOptions{
 					Ctx:        ctx,
 					OnProgress: func(done, total int) { progress(0, done, total) },
+					Recorder:   s.rec,
+					ParentSpan: parent,
 				})
 				if err != nil {
 					return nil, err
@@ -265,10 +286,12 @@ func (s *Server) buildPlan(req JobRequest, jobID string) (plan, error) {
 			return plan{}, fmt.Errorf("the space has no valid corners")
 		}
 		return plan{
-			run: func(ctx context.Context) (any, error) {
+			run: func(ctx context.Context, parent obs.SpanID) (any, error) {
 				mat, err := eng.EvaluateMatrixOpts(cfgs, conds, engine.BatchOptions{
 					Ctx:        ctx,
 					OnProgress: func(done, total int) { progress(0, done, total) },
+					Recorder:   s.rec,
+					ParentSpan: parent,
 				})
 				if err != nil {
 					return nil, err
@@ -308,7 +331,9 @@ func (s *Server) buildPlan(req JobRequest, jobID string) (plan, error) {
 			statsFn = func() engine.Stats { return addStats(eng.Stats(), final.Stats()) }
 		}
 		return plan{
-			run: func(ctx context.Context) (any, error) {
+			run: func(ctx context.Context, parent obs.SpanID) (any, error) {
+				opts.Recorder = s.rec
+				opts.Span = parent
 				res, err := search.Run(ctx, opts)
 				if err != nil {
 					return nil, err
@@ -351,28 +376,55 @@ func (s *Server) runJob(sess *session, j *job, p plan, ctx context.Context, canc
 
 	j.setRunning()
 	s.hub.Publish(j.id, Event{Type: EventState, State: JobRunning})
+	slog.Info("job running", "session", sess.id, "job", j.id, "kind", j.kind)
+	span := s.rec.StartSpan(0, obs.CatJob, j.kind, j.id)
+	j.setSpan(span.ID())
+	s.sm.jobsActive.Add(1)
 	pre := p.stats()
-	result, err := p.run(ctx)
+	result, err := p.run(ctx, span.ID())
 	delta := p.stats().Sub(pre)
+	dur := span.End()
+	s.sm.jobsActive.Add(-1)
 	sess.end(j.id)
 
 	switch {
 	case err == nil:
 		data, merr := json.Marshal(result)
 		if merr != nil {
-			j.finish(JobFailed, nil, delta, merr)
-			s.hub.Publish(j.id, Event{Type: EventFailed, Error: merr.Error()})
+			s.finishJob(j, JobFailed, nil, delta, merr, dur)
 			return
 		}
-		j.finish(JobDone, data, delta, nil)
-		s.hub.Publish(j.id, Event{Type: EventDone})
+		s.finishJob(j, JobDone, data, delta, nil, dur)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.finish(JobCanceled, nil, delta, err)
-		s.hub.Publish(j.id, Event{Type: EventCanceled, Error: err.Error()})
+		s.finishJob(j, JobCanceled, nil, delta, err, dur)
 	default:
-		j.finish(JobFailed, nil, delta, err)
-		s.hub.Publish(j.id, Event{Type: EventFailed, Error: err.Error()})
+		s.finishJob(j, JobFailed, nil, delta, err, dur)
 	}
+}
+
+// finishJob records a job's terminal state everywhere it surfaces: the
+// job record, the event topic, the jobs_total counters, and the log.
+func (s *Server) finishJob(j *job, state string, result json.RawMessage, delta engine.Stats, err error, dur time.Duration) {
+	j.finish(state, result, delta, err)
+	ev := Event{Type: EventDone}
+	ctr := s.sm.jobsDone
+	switch state {
+	case JobFailed:
+		ev = Event{Type: EventFailed, Error: err.Error()}
+		ctr = s.sm.jobsFailed
+	case JobCanceled:
+		ev = Event{Type: EventCanceled, Error: err.Error()}
+		ctr = s.sm.jobsCancel
+	}
+	s.hub.Publish(j.id, ev)
+	ctr.Inc()
+	if err != nil {
+		slog.Warn("job finished", "session", j.sid, "job", j.id, "kind", j.kind,
+			"state", state, "duration", dur, "err", err)
+		return
+	}
+	slog.Info("job finished", "session", j.sid, "job", j.id, "kind", j.kind,
+		"state", state, "duration", dur)
 }
 
 // addStats sums two engines' accounting (a search job screening on one

@@ -22,12 +22,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"sync/atomic"
 
 	"optima/internal/engine"
 	"optima/internal/exp"
+	"optima/internal/obs"
 )
 
 // Server is the service state: the shared experiment context, the session
@@ -37,6 +39,8 @@ type Server struct {
 	exp *exp.Context
 	hub *Hub
 	mux *http.ServeMux
+	rec *obs.Recorder
+	sm  serverMetrics
 
 	// engineFor resolves a backend name to an evaluation engine — normally
 	// exp.Context.EngineFor; in-package tests substitute controllable
@@ -54,16 +58,49 @@ type Server struct {
 	closing atomic.Bool
 }
 
+// serverMetrics holds the server-level instrument handles. The zero value
+// (every handle nil) is inert, so a bare Server in tests records nothing.
+type serverMetrics struct {
+	sessions   *obs.Gauge   // optima_sessions_active
+	jobsActive *obs.Gauge   // optima_jobs_active
+	jobsDone   *obs.Counter // optima_jobs_total{state="done"}
+	jobsFailed *obs.Counter // optima_jobs_total{state="failed"}
+	jobsCancel *obs.Counter // optima_jobs_total{state="canceled"}
+}
+
+func newServerMetrics(rec *obs.Recorder) serverMetrics {
+	reg := rec.Metrics()
+	const jobsHelp = "Jobs finished, by terminal state."
+	return serverMetrics{
+		sessions:   reg.Gauge("optima_sessions_active", "Live sessions."),
+		jobsActive: reg.Gauge("optima_jobs_active", "Jobs currently running."),
+		jobsDone:   reg.Counter("optima_jobs_total", jobsHelp, "state", JobDone),
+		jobsFailed: reg.Counter("optima_jobs_total", jobsHelp, "state", JobFailed),
+		jobsCancel: reg.Counter("optima_jobs_total", jobsHelp, "state", JobCanceled),
+	}
+}
+
 // New wraps an experiment context into a server. The caller keeps
 // ownership of nothing: Shutdown closes the context (flushing the
 // persistent store).
+//
+// The server always runs instrumented: it adopts the context's Recorder —
+// creating one when the context has none, before the engine is built, so
+// the engine and store register against it — serves its registry on GET
+// /metrics, and serves per-job span subtrees as Chrome trace JSON.
 func New(expCtx *exp.Context) *Server {
+	if expCtx.Recorder == nil {
+		expCtx.Recorder = obs.NewRecorder(obs.RecorderOptions{Logger: slog.Default()})
+	}
 	s := &Server{
 		exp:      expCtx,
 		hub:      NewHub(),
 		mux:      http.NewServeMux(),
+		rec:      expCtx.Recorder,
 		sessions: make(map[string]*session),
 	}
+	s.sm = newServerMetrics(s.rec)
+	s.hub.instrument(s.rec)
 	s.engineFor = expCtx.EngineFor
 	s.routes()
 	return s
@@ -73,6 +110,7 @@ func New(expCtx *exp.Context) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) routes() {
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/status", s.handleStatus)
 	s.mux.HandleFunc("POST /api/sessions", s.handleCreateSession)
 	s.mux.HandleFunc("GET /api/sessions", s.handleListSessions)
@@ -82,6 +120,36 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /api/sessions/{sid}/jobs/{jid}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /api/sessions/{sid}/jobs/{jid}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /api/sessions/{sid}/jobs/{jid}/ws", s.handleJobWS)
+	s.mux.HandleFunc("GET /api/sessions/{sid}/jobs/{jid}/trace", s.handleJobTrace)
+}
+
+// handleMetrics serves the recorder's registry in the Prometheus text
+// exposition format — the scrape surface for the whole stack (engine,
+// store, hub, search, server), since every layer registers against the
+// one adopted recorder.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.rec.Metrics().WritePrometheus(w); err != nil {
+		// Headers are gone; the scraper sees a truncated body and retries.
+		slog.Debug("metrics write failed", "err", err)
+	}
+}
+
+// handleJobTrace serves the job's span subtree (the job span plus every
+// batch/eval/rung span started under it) as Chrome trace-format JSON —
+// open the payload in Perfetto or chrome://tracing. A job that has not
+// started yet, or whose spans have been overwritten in the recorder's
+// ring, yields an empty (but valid) trace.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	_, j := s.lookupJob(w, r)
+	if j == nil {
+		return
+	}
+	spans := obs.Subtree(s.rec.Snapshot(), j.rootSpan())
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteTrace(w, spans); err != nil {
+		slog.Debug("trace write failed", "job", j.id, "err", err)
+	}
 }
 
 // Shutdown drains the server: new sessions and jobs are refused (503),
@@ -127,6 +195,21 @@ type StoreStatus struct {
 	Records int `json:"records,omitempty"`
 }
 
+// SessionJobCounts is one session's job accounting on GET /api/status.
+type SessionJobCounts struct {
+	ID string `json:"id"`
+	// Active is 0 or 1 — a session serializes its operations.
+	Active int `json:"active"`
+	Total  int `json:"total"`
+}
+
+// HubStatus reports the progress hub's fan-out state on GET /api/status.
+type HubStatus struct {
+	Topics      int     `json:"topics"`
+	Subscribers int     `json:"subscribers"`
+	DroppedSlow float64 `json:"dropped_slow"`
+}
+
 // StatusResponse is the body of GET /api/status.
 type StatusResponse struct {
 	Backend    string       `json:"backend"`
@@ -136,6 +219,10 @@ type StatusResponse struct {
 	ActiveJobs int          `json:"active_jobs"`
 	Engine     engine.Stats `json:"engine"`
 	Store      StoreStatus  `json:"store"`
+	// SessionJobs breaks the job accounting down per session, in session
+	// creation order.
+	SessionJobs []SessionJobCounts `json:"session_jobs,omitempty"`
+	Hub         HubStatus          `json:"hub"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -153,16 +240,27 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		// could not open, so the server runs memory-only.
 		resp.Store.Error = err.Error()
 	}
+	resp.Hub.Topics, resp.Hub.Subscribers = s.hub.Counts()
+	resp.Hub.DroppedSlow = s.hub.dropped.Value()
 	s.mu.Lock()
-	resp.Sessions = len(s.sessions)
-	for _, sess := range s.sessions {
+	sessions := make([]*session, 0, len(s.sessOrder))
+	for _, id := range s.sessOrder {
+		sessions = append(sessions, s.sessions[id])
+	}
+	s.mu.Unlock()
+	resp.Sessions = len(sessions)
+	// Per-session counts walk creation order so the response is stable
+	// across identical states (map order would shuffle it per request).
+	for _, sess := range sessions {
 		sess.mu.Lock()
+		sc := SessionJobCounts{ID: sess.id, Total: len(sess.order)}
 		if sess.opJob != "" {
+			sc.Active = 1
 			resp.ActiveJobs++
 		}
 		sess.mu.Unlock()
+		resp.SessionJobs = append(resp.SessionJobs, sc)
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -176,6 +274,8 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.sessions[sess.id] = sess
 	s.sessOrder = append(s.sessOrder, sess.id)
 	s.mu.Unlock()
+	s.sm.sessions.Add(1)
+	slog.Info("session created", "session", sess.id)
 	writeJSON(w, http.StatusCreated, sess.status())
 }
 
@@ -241,6 +341,8 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
+	s.sm.sessions.Add(-1)
+	slog.Info("session deleted", "session", sess.id, "jobs", len(sess.jobIDs()))
 	// Disconnect watchers and free the event histories. A still-running
 	// job keeps running to its terminal state (its runner holds direct
 	// references); it just has no audience anymore.

@@ -44,19 +44,20 @@ func hasV1Segments(dir string) bool {
 }
 
 // migrateV1 converts every legacy segment of dir to the v2 codec, in
-// deterministic (file-name) order.
-func migrateV1(dir string) error {
+// deterministic (file-name) order, and reports how many segments it
+// converted.
+func migrateV1(dir string) (int, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, v1SegmentGlob))
 	if err != nil {
-		return fmt.Errorf("store: migrate: %w", err)
+		return 0, fmt.Errorf("store: migrate: %w", err)
 	}
 	sort.Strings(paths)
-	for _, path := range paths {
+	for i, path := range paths {
 		if err := migrateV1Segment(path); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return nil
+	return len(paths), nil
 }
 
 // migrateV1Segment rewrites one JSONL segment as a v2 binary segment next

@@ -117,7 +117,7 @@ func TestV1MigrationKeepsForeignFingerprints(t *testing.T) {
 		"fp-a": v1Entries(10),
 		"fp-b": {{Key: testKey(100), Met: testMet(100)}, {Key: testKey(101), Met: testMet(101)}},
 	})
-	if err := migrateV1(dir); err != nil {
+	if _, err := migrateV1(dir); err != nil {
 		t.Fatal(err)
 	}
 	perFP := map[string]int{}
@@ -231,7 +231,7 @@ func TestV1MigrationPreservesMtime(t *testing.T) {
 	if err := os.Chtimes(path, old, old); err != nil {
 		t.Fatal(err)
 	}
-	if err := migrateV1(dir); err != nil {
+	if _, err := migrateV1(dir); err != nil {
 		t.Fatal(err)
 	}
 	fi, err := os.Stat(segPath(dir, 0))

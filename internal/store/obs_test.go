@@ -1,0 +1,124 @@
+package store
+
+import (
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"optima/internal/engine"
+	"optima/internal/obs"
+)
+
+// TestOpenSurfacesMigrationCount is the PR's small-fix contract: work the
+// store does silently at open — v1 migration, torn-tail repair — is
+// reported through Stats (and the recorder's counters) instead of being
+// swallowed.
+func TestOpenSurfacesMigrationCount(t *testing.T) {
+	dir := t.TempDir()
+	writeV1Store(t, dir, 3, map[string][]engine.CacheEntry{"fp-a": v1Entries(20)})
+
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	s, err := Open(dir, Options{Fingerprint: "fp-a", Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	st := s.Stats()
+	if st.Migrated != 3 {
+		t.Errorf("Stats.Migrated = %d, want 3 (every v1 segment)", st.Migrated)
+	}
+	if !strings.Contains(st.String(), "migrated") {
+		t.Errorf("Stats.String() %q does not mention the migration", st.String())
+	}
+	ctr := rec.Metrics().Counter("optima_store_migrated_segments_total", "")
+	if got := ctr.Value(); got != 3 {
+		t.Errorf("migrated counter = %v, want 3", got)
+	}
+
+	// Reopening the migrated directory does no further work.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().Migrated; got != 0 {
+		t.Errorf("second open migrated %d segments, want 0", got)
+	}
+}
+
+func TestOpenSurfacesTornTailCount(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Fingerprint: "fp-a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 30)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segments(t, dir)
+	torn := make([]byte, recordHeaderLen+10)
+	binary.LittleEndian.PutUint32(torn, uint32(recordBodyFixedLen+20))
+	appendBytes(t, segs[0], torn)
+
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	s, err = Open(dir, Options{Fingerprint: "fp-a", Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Stats().TornTails; got != 1 {
+		t.Errorf("Stats.TornTails = %d, want 1", got)
+	}
+	if !strings.Contains(s.Stats().String(), "torn") {
+		t.Errorf("Stats.String() %q does not mention the repair", s.Stats().String())
+	}
+	if got := rec.Metrics().Counter("optima_store_torn_tails_total", "").Value(); got != 1 {
+		t.Errorf("torn-tail counter = %v, want 1", got)
+	}
+}
+
+// TestStoreAccessCounters checks the hot-path instruments: per-Get
+// hit/miss counters and the put-record counter, plus the span categories
+// the store records at open and on writes.
+func TestStoreAccessCounters(t *testing.T) {
+	rec := obs.NewRecorder(obs.RecorderOptions{})
+	s, err := Open(t.TempDir(), Options{Fingerprint: "fp-a", Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	fillStore(t, s, 10)
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Get(testKey(i)); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	s.Get(testKey(999)) // miss
+
+	reg := rec.Metrics()
+	if got := reg.Counter("optima_store_gets_total", "", "result", "hit").Value(); got != 10 {
+		t.Errorf("get hits = %v, want 10", got)
+	}
+	if got := reg.Counter("optima_store_gets_total", "", "result", "miss").Value(); got != 1 {
+		t.Errorf("get misses = %v, want 1", got)
+	}
+	if got := reg.Counter("optima_store_put_records_total", "").Value(); got != 10 {
+		t.Errorf("put records = %v, want 10", got)
+	}
+
+	var sawOpen bool
+	for _, sp := range rec.Snapshot() {
+		if sp.Cat == obs.CatStore && sp.Name == "open" {
+			sawOpen = true
+		}
+	}
+	if !sawOpen {
+		t.Error("no store open span recorded")
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"optima/internal/engine"
+	"optima/internal/obs"
 )
 
 // DefaultPartitions is the segment count new stores are created with.
@@ -102,6 +103,39 @@ type Options struct {
 	// reclaims directories abandoned by retired configurations. <= 0 means
 	// unlimited.
 	MaxAge time.Duration
+	// Recorder, when non-nil, receives the store's telemetry: spans for
+	// open/migration/compaction/append work, hit/miss and record counters,
+	// and scrape-time gauges for segment bytes and live/garbage records.
+	// Timing and counts never affect what the store serves or writes.
+	Recorder *obs.Recorder
+}
+
+// storeMetrics holds the store's instrument handles; the zero value (no
+// recorder) is inert — every obs method no-ops on a nil receiver.
+type storeMetrics struct {
+	rec         *obs.Recorder
+	getHits     *obs.Counter
+	getMisses   *obs.Counter
+	putRecords  *obs.Counter
+	migrated    *obs.Counter
+	compactions *obs.Counter
+	tornTails   *obs.Counter
+}
+
+func newStoreMetrics(rec *obs.Recorder) storeMetrics {
+	if rec == nil {
+		return storeMetrics{}
+	}
+	reg := rec.Metrics()
+	return storeMetrics{
+		rec:         rec,
+		getHits:     reg.Counter("optima_store_gets_total", "store index lookups", "result", "hit"),
+		getMisses:   reg.Counter("optima_store_gets_total", "store index lookups", "result", "miss"),
+		putRecords:  reg.Counter("optima_store_put_records_total", "records appended to segment files"),
+		migrated:    reg.Counter("optima_store_migrated_segments_total", "v1 JSONL segments converted to the v2 codec at open"),
+		compactions: reg.Counter("optima_store_compactions_total", "partition rewrites (open-time repair, garbage threshold, explicit Compact)"),
+		tornTails:   reg.Counter("optima_store_torn_tails_total", "segments whose torn or corrupt tail was repaired at open"),
+	}
 }
 
 // manifest is the store's snapshot metadata, rewritten atomically on every
@@ -138,8 +172,16 @@ type Store struct {
 	dir  string
 	fp   string
 	lock *os.File
+	sm   storeMetrics
 
 	parts []*partition
+
+	// statsMu guards the open/compaction accounting below (satellite
+	// counters surfaced via Stats; the partitions guard their own state).
+	statsMu     sync.Mutex
+	migrated    int
+	compactions int
+	tornTails   int
 }
 
 var _ engine.Store = (*Store)(nil)
@@ -148,6 +190,10 @@ var _ engine.Store = (*Store)(nil)
 // into the index; truncated tails are skipped and repaired, and partitions
 // that are mostly garbage are compacted.
 func Open(dir string, opts Options) (*Store, error) {
+	rec := opts.Recorder
+	sm := newStoreMetrics(rec)
+	openSpan := rec.StartSpan(0, obs.CatStore, "open", dir)
+	defer openSpan.End()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -174,30 +220,80 @@ func Open(dir string, opts Options) (*Store, error) {
 	// Upgrade legacy JSONL directories in place before the v2 load. The
 	// manifest-less case covers a torn manifest write over a v1 store: the
 	// segment files themselves identify the format.
+	var migrated int
 	if hasV1Segments(dir) {
-		if err := migrateV1(dir); err != nil {
+		migSpan := rec.StartSpan(openSpan.ID(), obs.CatStore, "migrate-v1", "")
+		migrated, err = migrateV1(dir)
+		migSpan.End()
+		if err != nil {
 			releaseLock(lock)
 			return nil, err
 		}
+		sm.migrated.Add(float64(migrated))
 	}
 	if err := applyRetention(dir, nparts, opts.MaxBytes, opts.MaxAge); err != nil {
 		releaseLock(lock)
 		return nil, err
 	}
-	s := &Store{dir: dir, fp: opts.Fingerprint, lock: lock, parts: make([]*partition, nparts)}
+	s := &Store{
+		dir: dir, fp: opts.Fingerprint, lock: lock, sm: sm,
+		parts:    make([]*partition, nparts),
+		migrated: migrated,
+	}
+	var loadArg string
+	if rec != nil {
+		loadArg = fmt.Sprintf("%d partitions", nparts)
+	}
+	loadSpan := rec.StartSpan(openSpan.ID(), obs.CatStore, "load", loadArg)
 	for i := range s.parts {
-		p, err := loadPartition(segPath(dir, i), opts.Fingerprint)
+		p, info, err := loadPartition(segPath(dir, i), opts.Fingerprint)
 		if err != nil {
+			loadSpan.End()
 			s.closeFiles()
 			return nil, err
 		}
 		s.parts[i] = p
+		if info.torn {
+			s.tornTails++
+			sm.tornTails.Inc()
+		}
+		if info.compacted {
+			s.compactions++
+			sm.compactions.Inc()
+		}
 	}
+	loadSpan.End()
 	if err := s.writeManifest(); err != nil {
 		s.closeFiles()
 		return nil, err
 	}
+	s.registerGauges()
 	return s, nil
+}
+
+// registerGauges exposes the store's sizing as scrape-time gauges. The
+// functions run at scrape with no registry lock held, so taking the
+// partition locks (Stats) and statting segment files is safe; values are
+// read fresh from the owning structures instead of being mirrored.
+func (s *Store) registerGauges() {
+	reg := s.sm.rec.Metrics()
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("optima_store_segment_bytes", "total size of the store's segment files",
+		func() float64 {
+			var total int64
+			for i := range s.parts {
+				if fi, err := os.Stat(segPath(s.dir, i)); err == nil {
+					total += fi.Size()
+				}
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("optima_store_records", "records held in segment files by state",
+		func() float64 { return float64(s.Stats().Live) }, "state", "live")
+	reg.GaugeFunc("optima_store_records", "records held in segment files by state",
+		func() float64 { return float64(s.Stats().Garbage) }, "state", "garbage")
 }
 
 // applyRetention enforces Options.MaxAge and Options.MaxBytes before the
@@ -265,24 +361,36 @@ func applyRetention(dir string, nparts int, maxBytes int64, maxAge time.Duration
 	return nil
 }
 
+// partLoadInfo reports what loading one partition had to do — counts the
+// open path used to silently swallow, now surfaced through Stats and the
+// store counters.
+type partLoadInfo struct {
+	// torn: the segment ended in a truncated or corrupt record and the
+	// valid prefix was rewritten in place.
+	torn bool
+	// compacted: the partition was rewritten at load (torn tail or the
+	// garbage threshold).
+	compacted bool
+}
+
 // loadPartition scans one segment into an index. The scan stops at the
 // first record that does not decode — a torn append or CRC-detected
 // corruption — and the partition is compacted on the spot so the valid
 // prefix is all that remains and new appends land after readable data.
-func loadPartition(path, fp string) (*partition, error) {
+func loadPartition(path, fp string) (*partition, partLoadInfo, error) {
 	p := &partition{path: path, index: map[engine.Key]engine.Metrics{}}
+	var info partLoadInfo
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, info, fmt.Errorf("store: %w", err)
 	}
-	dirty := false
 	for len(data) > 0 {
 		rec, n, ok := decodeRecord(data)
 		if !ok {
 			// Torn or corrupt record: everything from here on is unreliable
 			// (the framing after a bad length prefix is gone). Keep the
 			// valid prefix; the rewrite below repairs the file.
-			dirty = true
+			info.torn = true
 			break
 		}
 		data = data[n:]
@@ -294,17 +402,18 @@ func loadPartition(path, fp string) (*partition, error) {
 	// Repair torn tails; otherwise leave the segment alone unless enough of
 	// it is garbage (superseded values, foreign fingerprints) to be worth a
 	// rewrite — a warm open of a clean store must not rewrite anything.
-	if dirty || p.garbage()*compactGarbageDenom > p.total {
+	if info.torn || p.garbage()*compactGarbageDenom > p.total {
 		if err := p.rewrite(fp); err != nil {
-			return nil, err
+			return nil, info, err
 		}
+		info.compacted = true
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, info, fmt.Errorf("store: %w", err)
 	}
 	p.file = f
-	return p, nil
+	return p, info, nil
 }
 
 // validMetrics rejects records whose payload decoded but is semantically
@@ -392,6 +501,11 @@ func (s *Store) Get(key engine.Key) (engine.Metrics, bool) {
 	p.mu.Lock()
 	met, ok := p.index[key]
 	p.mu.Unlock()
+	if ok {
+		s.sm.getHits.Inc()
+	} else {
+		s.sm.getMisses.Inc()
+	}
 	return met, ok
 }
 
@@ -407,6 +521,13 @@ func (s *Store) PutBatch(entries []engine.CacheEntry) error {
 	if len(entries) == 0 {
 		return nil
 	}
+	var putArg string
+	if s.sm.rec != nil {
+		putArg = fmt.Sprintf("%d records", len(entries))
+	}
+	span := s.sm.rec.StartSpan(0, obs.CatStore, "put-batch", putArg)
+	defer span.End()
+	s.sm.putRecords.Add(float64(len(entries)))
 	nparts := uint64(len(s.parts))
 	if len(entries) == 1 {
 		return s.parts[entries[0].Key.Hash()%nparts].append(s.fp, entries)
@@ -471,6 +592,8 @@ func (p *partition) append(fp string, ents []engine.CacheEntry) error {
 // Compact rewrites every partition down to its live records (current
 // fingerprint, latest value per key) via atomic write-then-rename.
 func (s *Store) Compact() error {
+	span := s.sm.rec.StartSpan(0, obs.CatStore, "compact", "")
+	defer span.End()
 	for _, p := range s.parts {
 		p.mu.Lock()
 		err := p.rewrite(s.fp)
@@ -481,11 +604,16 @@ func (s *Store) Compact() error {
 		if err != nil {
 			return err
 		}
+		s.statsMu.Lock()
+		s.compactions++
+		s.statsMu.Unlock()
+		s.sm.compactions.Inc()
 	}
 	return nil
 }
 
-// Stats summarizes the store's contents.
+// Stats summarizes the store's contents and the maintenance work it has
+// performed since Open.
 type Stats struct {
 	// Live is the number of results servable under the open fingerprint.
 	Live int
@@ -494,16 +622,43 @@ type Stats struct {
 	Garbage int
 	// Partitions is the segment count.
 	Partitions int
+	// Migrated counts legacy v1 JSONL segments converted at open.
+	Migrated int
+	// Compactions counts partition rewrites: open-time repairs, the
+	// open-time garbage threshold, and explicit Compact passes.
+	Compactions int
+	// TornTails counts segments whose truncated or corrupt tail was
+	// repaired at open — the crash-recovery work that used to happen
+	// silently.
+	TornTails int
 }
 
-// String renders the stats for log lines.
+// String renders the stats for log lines. Maintenance clauses appear only
+// when that work actually happened.
 func (st Stats) String() string {
-	return fmt.Sprintf("%d results on disk (%d stale) across %d segments", st.Live, st.Garbage, st.Partitions)
+	out := fmt.Sprintf("%d results on disk (%d stale) across %d segments", st.Live, st.Garbage, st.Partitions)
+	if st.Migrated > 0 {
+		out += fmt.Sprintf(", %d segments migrated from v1", st.Migrated)
+	}
+	if st.TornTails > 0 {
+		out += fmt.Sprintf(", %d torn tails repaired", st.TornTails)
+	}
+	if st.Compactions > 0 {
+		out += fmt.Sprintf(", %d compactions", st.Compactions)
+	}
+	return out
 }
 
 // Stats returns a snapshot of the store's accounting.
 func (s *Store) Stats() Stats {
-	st := Stats{Partitions: len(s.parts)}
+	s.statsMu.Lock()
+	st := Stats{
+		Partitions:  len(s.parts),
+		Migrated:    s.migrated,
+		Compactions: s.compactions,
+		TornTails:   s.tornTails,
+	}
+	s.statsMu.Unlock()
 	for _, p := range s.parts {
 		p.mu.Lock()
 		st.Live += len(p.index)
