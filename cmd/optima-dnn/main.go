@@ -35,6 +35,7 @@ import (
 	"optima/internal/engine"
 	"optima/internal/exp"
 	"optima/internal/obs"
+	"optima/internal/remote"
 	"optima/internal/report"
 )
 
@@ -61,6 +62,8 @@ func main() {
 		"structured log level: debug, info, warn or error")
 	slowEval := flag.Duration("slow-eval", 0,
 		"log a warning for any single backend evaluation slower than this (e.g. 2s; 0 = off)")
+	remoteAddr := flag.String("remote", "",
+		"listen on this address (e.g. :9777) for optima-worker processes and distribute evaluations across them; with no connected workers evaluation stays local")
 	flag.Parse()
 
 	opts := runOpts{
@@ -69,6 +72,7 @@ func main() {
 		cacheDir: *cacheDir, cacheMax: *cacheMax, cacheAge: *cacheAge,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 		traceOut: *traceOut, logLevel: *logLevel, slowEval: *slowEval,
+		remoteAddr: *remoteAddr,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "optima-dnn:", err)
@@ -89,6 +93,7 @@ type runOpts struct {
 	cpuProfile, memProfile string
 	traceOut, logLevel     string
 	slowEval               time.Duration
+	remoteAddr             string
 }
 
 func run(o runOpts) error {
@@ -134,6 +139,18 @@ func run(o runOpts) error {
 		SlowEval: o.slowEval,
 		Logger:   slog.Default(),
 	})
+	if o.remoteAddr != "" {
+		fleet, err := remote.Listen(o.remoteAddr, remote.Options{
+			Fingerprint: ctx.Fingerprint(),
+			Recorder:    ctx.Recorder,
+			Logger:      slog.Default(),
+		})
+		if err != nil {
+			return fmt.Errorf("-remote: %w", err)
+		}
+		ctx.Fleet = fleet
+		fmt.Printf("remote fleet listening on %s\n", fleet.Addr())
+	}
 	defer ctx.Close()
 	if err := ctx.StartProfiling(); err != nil {
 		return err

@@ -39,6 +39,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"regexp"
 	"strconv"
@@ -50,6 +51,7 @@ import (
 	"optima/internal/engine"
 	"optima/internal/exp"
 	"optima/internal/obs"
+	"optima/internal/remote"
 	"optima/internal/server"
 )
 
@@ -82,6 +84,12 @@ func run() error {
 		"log a warning for any single backend evaluation slower than this (e.g. 2s; 0 = off)")
 	smoke := fs.Bool("smoke", false,
 		"run the serving-path self-check (ephemeral port, one sweep job, WebSocket to done, /metrics scrape) and exit")
+	smokeWorkers := fs.Int("smoke-workers", 0,
+		"with -smoke: spawn this many optima-worker processes and run a matrix job through the remote fleet (requires -worker-bin)")
+	workerBin := fs.String("worker-bin", "",
+		"with -smoke-workers: path to the optima-worker binary to spawn")
+	remoteAddr := fs.String("remote", "",
+		"listen on this address (e.g. :9777) for optima-worker processes and distribute evaluations across them; with no connected workers evaluation stays local")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
@@ -93,8 +101,9 @@ func run() error {
 
 	if *smoke {
 		// The smoke check pins its own fast settings; the flags above
-		// configure the serving mode only.
-		return runSmoke()
+		// configure the serving mode only (except -smoke-workers/-worker-bin,
+		// which select the distributed variant).
+		return runSmoke(*smokeWorkers, *workerBin)
 	}
 
 	ctx, err := makeContext(*modelPath, *quick, *workers, *backend, *conditions,
@@ -108,6 +117,18 @@ func run() error {
 		SlowEval: *slowEval,
 		Logger:   slog.Default(),
 	})
+	if *remoteAddr != "" {
+		fleet, err := remote.Listen(*remoteAddr, remote.Options{
+			Fingerprint: ctx.Fingerprint(),
+			Recorder:    ctx.Recorder,
+			Logger:      slog.Default(),
+		})
+		if err != nil {
+			return fmt.Errorf("-remote: %w", err)
+		}
+		ctx.Fleet = fleet
+		slog.Info("remote fleet listening", "addr", fleet.Addr())
+	}
 	srv := server.New(ctx)
 	// Build the engine (and open the store) before accepting traffic, so
 	// a bad cache directory is reported at startup, not on the first job.
@@ -186,14 +207,62 @@ func makeContext(modelPath string, quick bool, workers int, backend, conditions,
 }
 
 // runSmoke gates the serving path end to end: ephemeral listener, one
-// session, one small behavioral sweep, WebSocket followed to the terminal
+// session, one small behavioral job, WebSocket followed to the terminal
 // event, graceful shutdown. Any deviation is a non-zero exit.
-func runSmoke() error {
+//
+// With workersN > 0 it gates the distributed path instead: a remote fleet
+// on an ephemeral port, workersN spawned optima-worker processes, and a
+// cross-condition matrix job whose cells must flow through the fleet.
+func runSmoke(workersN int, workerBin string) error {
 	ctx, err := exp.NewContext(core.QuickCalibration())
 	if err != nil {
 		return err
 	}
 	srv := server.New(ctx)
+
+	var fleet *remote.Fleet
+	if workersN > 0 {
+		if workerBin == "" {
+			return fmt.Errorf("-smoke-workers requires -worker-bin")
+		}
+		// server.New installed the recorder; the fleet's counters land in
+		// the same registry /metrics serves.
+		fleet, err = remote.Listen("127.0.0.1:0", remote.Options{
+			Fingerprint: ctx.Fingerprint(),
+			Recorder:    ctx.Recorder,
+			Logger:      slog.Default(),
+		})
+		if err != nil {
+			return err
+		}
+		ctx.Fleet = fleet
+		var cmds []*exec.Cmd
+		defer func() {
+			for _, c := range cmds {
+				c.Process.Kill()
+				c.Wait()
+			}
+		}()
+		for i := 0; i < workersN; i++ {
+			cmd := exec.Command(workerBin, "-connect", fleet.Addr(), "-quick", "-workers", "2")
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				return fmt.Errorf("start worker %d: %w", i, err)
+			}
+			cmds = append(cmds, cmd)
+		}
+		// Workers calibrate (quick grids) before dialing; wait for the full
+		// fleet so the matrix job genuinely exercises distribution.
+		joinDeadline := time.Now().Add(2 * time.Minute)
+		for fleet.WorkerCount() < workersN {
+			if time.Now().After(joinDeadline) {
+				return fmt.Errorf("only %d/%d workers joined within 2m", fleet.WorkerCount(), workersN)
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		fmt.Printf("optima-server: %d workers joined the fleet on %s\n", workersN, fleet.Addr())
+	}
+
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -212,17 +281,23 @@ func runSmoke() error {
 	}
 
 	// A small behavioral sweep: 4 × 2 × 2 corners at the nominal condition.
+	// The distributed variant runs the same grid as a two-condition matrix,
+	// so the cells fan out across the worker fleet.
 	req := map[string]any{
 		"kind":   "sweep",
 		"tau0":   "0.16:0.28:4",
 		"vdac0":  "0.3,0.4",
 		"vdacfs": "0.8,1.0",
 	}
+	if fleet != nil {
+		req["kind"] = "matrix"
+		req["conditions"] = "TT@1.0V@27C,SS@0.90V@60C"
+	}
 	var job struct {
 		ID string `json:"id"`
 	}
 	if err := postJSON(base+"/api/sessions/"+sess.ID+"/jobs", req, &job); err != nil {
-		return fmt.Errorf("submit sweep: %w", err)
+		return fmt.Errorf("submit %s: %w", req["kind"], err)
 	}
 
 	// Follow the stream to the terminal event.
@@ -265,12 +340,30 @@ func runSmoke() error {
 	if st.State != server.JobDone || len(st.Result) == 0 {
 		return fmt.Errorf("job state %s with %d result bytes, want done with a result", st.State, len(st.Result))
 	}
-	var res server.SweepResult
-	if err := json.Unmarshal(st.Result, &res); err != nil {
-		return err
-	}
-	if len(res.Points) == 0 {
-		return fmt.Errorf("sweep returned no points")
+	resultCount := 0
+	if fleet != nil {
+		var res server.MatrixResult
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			return err
+		}
+		if resultCount = len(res.Robust); resultCount == 0 {
+			return fmt.Errorf("matrix returned no robust summaries")
+		}
+		// The point of the variant: the cells must have crossed the wire.
+		fs := fleet.Stats()
+		if fs.CellsShipped == 0 || fs.Results == 0 {
+			return fmt.Errorf("fleet shipped %d cells and accepted %d results, want > 0 (stats: %v)",
+				fs.CellsShipped, fs.Results, fs)
+		}
+		fmt.Printf("optima-server: fleet %v\n", fs)
+	} else {
+		var res server.SweepResult
+		if err := json.Unmarshal(st.Result, &res); err != nil {
+			return err
+		}
+		if resultCount = len(res.Points); resultCount == 0 {
+			return fmt.Errorf("sweep returned no points")
+		}
 	}
 
 	// The telemetry surface: /metrics must serve well-formed Prometheus
@@ -291,7 +384,7 @@ func runSmoke() error {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return err
 	}
-	fmt.Printf("optima-server: smoke ok (%d sweep points)\n", len(res.Points))
+	fmt.Printf("optima-server: smoke ok (%d %s results)\n", resultCount, req["kind"])
 	return nil
 }
 

@@ -1,0 +1,140 @@
+// Command optima-worker is one process of a distributed evaluation fleet:
+// it calibrates (or loads) the OPTIMA model, dials a coordinator started
+// with -remote on optima, optima-dnn or optima-server, and evaluates the
+// (config × condition) cells the coordinator ships to it.
+//
+// Usage:
+//
+//	optima-worker -connect host:port [-workers N] [-model in.json] [-quick] [-log-level L]
+//
+// The worker must be calibrated identically to the coordinator — same
+// -model file, or the same (default vs -quick) calibration recipe — or the
+// coordinator rejects it in the handshake: the calibration fingerprint is
+// part of every result's cache identity, and a mismatched worker would
+// silently poison the coordinator's content-addressed store.
+//
+// -workers bounds concurrent evaluations in this process (0 = all CPUs).
+// A lost coordinator is retried with backoff until interrupted, so workers
+// can be started before the coordinator and survive coordinator restarts;
+// a handshake rejection is fatal (retrying cannot fix a calibration
+// mismatch).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
+
+	"optima/internal/core"
+	"optima/internal/engine"
+	"optima/internal/obs"
+	"optima/internal/remote"
+	"optima/internal/store"
+)
+
+func main() {
+	connect := flag.String("connect", "", "coordinator address to dial (required), e.g. coordinator-host:9777")
+	workers := flag.Int("workers", 0, "concurrent evaluations in this worker process (0 = all CPUs)")
+	modelPath := flag.String("model", "", "load a calibrated model instead of recalibrating (must match the coordinator's)")
+	quick := flag.Bool("quick", false, "use the reduced calibration grids (must match the coordinator's calibration)")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn or error")
+	flag.Parse()
+	if err := run(*connect, *workers, *modelPath, *quick, *logLevel); err != nil {
+		fmt.Fprintln(os.Stderr, "optima-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(connect string, workers int, modelPath string, quick bool, logLevel string) error {
+	if connect == "" {
+		return fmt.Errorf("-connect is required")
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(logLevel)); err != nil {
+		return fmt.Errorf("bad -log-level %q: %w", logLevel, err)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	calib := core.DefaultCalibration()
+	if quick {
+		calib = core.QuickCalibration()
+	}
+	var model *core.Model
+	if modelPath != "" {
+		m, err := core.LoadModel(modelPath)
+		if err != nil {
+			return err
+		}
+		slog.Info("loaded model", "path", modelPath)
+		model = m
+	} else {
+		start := time.Now()
+		m, err := core.Calibrate(calib)
+		if err != nil {
+			return err
+		}
+		slog.Info("calibrated", "in", time.Since(start).Round(time.Millisecond))
+		model = m
+	}
+	fp, err := store.Fingerprint(engine.MetricsSchema, model, calib.Tech, calib.Spice)
+	if err != nil {
+		return fmt.Errorf("fingerprint: %w", err)
+	}
+
+	opts := remote.WorkerOptions{
+		Fingerprint: fp,
+		Backends: func(name string) (engine.Backend, error) {
+			return engine.ByName(name, model, calib.Tech, calib.Spice)
+		},
+		Workers:  workers,
+		Logger:   slog.Default(),
+		Recorder: obs.NewRecorder(obs.RecorderOptions{}),
+	}
+
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+
+	// Reconnect loop: a refused or dropped coordinator is retried with
+	// backoff (workers may start before the coordinator, and survive its
+	// restarts). A handshake rejection is fatal — the coordinator named a
+	// calibration or protocol mismatch that retrying cannot fix.
+	backoff := time.Second
+	for {
+		w, err := remote.Dial(connect, opts)
+		if err != nil {
+			if errors.Is(err, remote.ErrRejected) {
+				return err
+			}
+			slog.Warn("coordinator unreachable; retrying", "addr", connect, "err", err, "backoff", backoff)
+			select {
+			case <-interrupt:
+				return nil
+			case <-time.After(backoff):
+			}
+			if backoff < 30*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = time.Second
+		slog.Info("connected to coordinator", "addr", connect, "workers", workers)
+		done := make(chan struct{})
+		go func() { w.Wait(); close(done) }()
+		select {
+		case <-interrupt:
+			w.Close()
+			<-done
+			return nil
+		case <-done:
+			slog.Warn("coordinator connection lost; reconnecting", "addr", connect)
+		}
+	}
+}

@@ -76,6 +76,7 @@ import (
 	"optima/internal/mult"
 	"optima/internal/obs"
 	"optima/internal/refdata"
+	"optima/internal/remote"
 	"optima/internal/report"
 	"optima/internal/stats"
 )
@@ -142,6 +143,7 @@ type engineOpts struct {
 	traceOut   *string
 	logLevel   *string
 	slowEval   *time.Duration
+	remoteAddr *string
 }
 
 // engineFlags registers the shared evaluation-engine flags. -conditions is
@@ -156,7 +158,15 @@ func engineFlags(fs *flag.FlagSet) engineOpts {
 	}
 	eo.cacheFlags(fs)
 	eo.profileFlags(fs)
+	eo.remoteFlag(fs)
 	return eo
+}
+
+// remoteFlag registers the distributed-evaluation coordinator flag (for
+// subcommands that register their engine flags piecemeal, like search).
+func (eo *engineOpts) remoteFlag(fs *flag.FlagSet) {
+	eo.remoteAddr = fs.String("remote", "",
+		"listen on this address (e.g. :9777) for optima-worker processes and distribute evaluations across them; with no connected workers evaluation stays local")
 }
 
 // cacheFlags registers only the persistent-store flags (for subcommands
@@ -294,6 +304,19 @@ func makeContext(modelPath string, quick bool, eo engineOpts) (*exp.Context, err
 		SlowEval: slowEval,
 		Logger:   slog.Default(),
 	})
+	if eo.remoteAddr != nil && *eo.remoteAddr != "" {
+		fleet, err := remote.Listen(*eo.remoteAddr, remote.Options{
+			Fingerprint: ctx.Fingerprint(),
+			Recorder:    ctx.Recorder,
+			Logger:      slog.Default(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("-remote: %w", err)
+		}
+		ctx.Fleet = fleet
+		fmt.Printf("remote fleet listening on %s (connect workers: optima-worker -connect <host>%s)\n",
+			fleet.Addr(), *eo.remoteAddr)
+	}
 	// The CPU profile runs until ctx.Close (which also snapshots the heap),
 	// so it covers exactly the experiment work between here and the caller's
 	// deferred Close.
@@ -688,6 +711,9 @@ func printEngineStats(ctx *exp.Context) {
 	fmt.Printf("engine [%s]: %v\n", ctx.Engine().Backend().Name(), ctx.Engine().Stats())
 	if st := ctx.Store(); st != nil {
 		fmt.Printf("result store [%s]: %v\n", st.Dir(), st.Stats())
+	}
+	if ctx.Fleet != nil {
+		fmt.Printf("remote fleet: %v\n", ctx.Fleet.Stats())
 	}
 	printTelemetry(ctx.Recorder)
 }

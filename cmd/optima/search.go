@@ -22,6 +22,7 @@ func runSearch(args []string) error {
 	eo.cacheFlags(fs)
 	eo.conditionsFlag(fs)
 	eo.profileFlags(fs)
+	eo.remoteFlag(fs)
 	tau0 := fs.String("tau0", "0.16:0.28:100", "τ0 axis [ns]: min:max:steps[:log] or comma list")
 	vdac0 := fs.String("vdac0", "0.3:0.5:3", "V_DAC,0 axis [V]: min:max:steps[:log] or comma list")
 	vdacfs := fs.String("vdacfs", "0.7:1.0:4", "V_DAC,FS axis [V]: min:max:steps[:log] or comma list")

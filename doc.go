@@ -57,6 +57,20 @@
 // reuse the search package's JSON report shapes — byte-identical to the
 // optima search CLI at any worker count.
 //
+// internal/remote distributes the evaluation plane across processes and
+// hosts (stdlib only): a coordinator embedded in the engine's backend
+// seam ships batches of (backend, config, condition) cells over a
+// CRC-framed binary TCP protocol to a fleet of optima-worker processes,
+// sharded by the store's host-stable key hash so a worker keeps seeing
+// the same key ranges. The coordinator implements engine.BatchBackend,
+// so EvaluateBatch, EvaluateMatrix, the search, the CLIs, and
+// optima-server gain distribution behind a -remote flag with zero
+// changes above the engine; a calibration-fingerprint handshake refuses
+// mismatched workers, dead workers' cells are reassigned exactly once,
+// idle workers steal from busy ones, and an empty fleet degrades to
+// local evaluation — with results byte-identical at any worker count,
+// including zero.
+//
 // internal/obs is the cross-cutting telemetry layer (stdlib only): a
 // lock-cheap ring-buffer span recorder with an injected monotonic clock
 // and a metrics registry of counters, gauges, and histograms. Every layer

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -101,6 +102,24 @@ type IntraBackend interface {
 	// EvaluateBudget is Evaluate with up to intra workers of internal
 	// parallelism; intra <= 0 means GOMAXPROCS, 1 means serial.
 	EvaluateBudget(cfg mult.Config, cond device.PVT, intra int) (Metrics, error)
+}
+
+// BatchBackend is optionally implemented by backends that evaluate a
+// whole batch at once — the remote coordinator (internal/remote) ships a
+// batch's cells to its worker fleet instead of having the engine fan them
+// out across local goroutines. The engine hands EvaluateJobs every cell
+// of a batched submission that missed all cache tiers, with the total
+// worker budget as a hint for any local fallback evaluation.
+//
+// The contract: onDone is called exactly once per job index, from any
+// goroutine, with either the job's Metrics or its error; a job abandoned
+// because ctx was canceled reports an error wrapping ctx.Err().
+// EvaluateJobs returns only after every onDone call has completed, and
+// Metrics must be byte-identical to what Evaluate would return — the
+// content-addressed cache stores them by key alone.
+type BatchBackend interface {
+	Backend
+	EvaluateJobs(ctx context.Context, jobs []Job, workers int, onDone func(i int, met Metrics, err error))
 }
 
 // Behavioral is the fast backend: OPTIMA's calibrated models, with the

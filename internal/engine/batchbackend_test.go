@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"optima/internal/device"
+	"optima/internal/mult"
+)
+
+// batchMet is the deterministic value the fake batch backend reports for a
+// job — a pure function of the inputs, like any real backend.
+func batchMet(j Job) Metrics {
+	return Metrics{
+		Config: j.Config, Cond: j.Cond,
+		EpsMul: j.Config.Tau0*1e9 + j.Cond.VDD,
+		EMul:   float64(j.Cond.Corner+1) * 1e-15,
+	}
+}
+
+// fakeBatchBackend drives runBatchBackend through its contract edges. mode
+// selects the behavior of the next EvaluateJobs call; tests flip it between
+// submissions to check that failed claims were released, not memoized.
+type fakeBatchBackend struct {
+	mode       atomic.Value // string: "ok", "dup", "skip-first", "panic", "cancel"
+	calls      atomic.Int64
+	gotWorkers atomic.Int64
+}
+
+func newFakeBatchBackend(mode string) *fakeBatchBackend {
+	b := &fakeBatchBackend{}
+	b.mode.Store(mode)
+	return b
+}
+
+func (b *fakeBatchBackend) Name() string { return "fake-batch" }
+
+func (b *fakeBatchBackend) Evaluate(cfg mult.Config, cond device.PVT) (Metrics, error) {
+	return batchMet(Job{Config: cfg, Cond: cond}), nil
+}
+
+func (b *fakeBatchBackend) EvaluateJobs(ctx context.Context, jobs []Job, workers int, onDone func(int, Metrics, error)) {
+	b.calls.Add(1)
+	b.gotWorkers.Store(int64(workers))
+	switch b.mode.Load().(string) {
+	case "ok":
+		for i, j := range jobs {
+			onDone(i, batchMet(j), nil)
+		}
+	case "dup":
+		// Violates exactly-once from the backend side: every index reported
+		// twice, plus out-of-range indexes. The engine must drop the extras.
+		for i, j := range jobs {
+			onDone(i, batchMet(j), nil)
+			onDone(i, Metrics{}, errors.New("duplicate report"))
+		}
+		onDone(-1, Metrics{}, nil)
+		onDone(len(jobs), Metrics{}, nil)
+	case "skip-first":
+		for i, j := range jobs {
+			if i == 0 {
+				continue
+			}
+			onDone(i, batchMet(j), nil)
+		}
+	case "panic":
+		panic("batch backend exploded")
+	case "cancel":
+		for i := range jobs {
+			onDone(i, Metrics{}, fmt.Errorf("remote: abandoned: %w", context.Canceled))
+		}
+	}
+}
+
+func batchTestJobs(n int) []Job {
+	cfgs := make([]mult.Config, n)
+	for i := range cfgs {
+		cfgs[i] = mult.Config{Tau0: (0.16 + 0.01*float64(i)) * 1e-9, VDAC0: 0.3, VDACFS: 1.0}
+	}
+	return Jobs(cfgs, device.Nominal())
+}
+
+// TestBatchBackendResolves: a batch-aware backend receives the whole miss
+// set in one call with the engine's worker budget as the hint, its results
+// land in the cache, and a resubmission never reaches it again.
+func TestBatchBackendResolves(t *testing.T) {
+	backend := newFakeBatchBackend("ok")
+	eng := New(backend, 3)
+	jobs := batchTestJobs(5)
+	got, err := eng.EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if got[i] != batchMet(j) {
+			t.Fatalf("job %d: got %+v, want %+v", i, got[i], batchMet(j))
+		}
+	}
+	if n := backend.calls.Load(); n != 1 {
+		t.Fatalf("backend called %d times for one batch, want 1", n)
+	}
+	if w := backend.gotWorkers.Load(); w != 3 {
+		t.Fatalf("worker hint %d, want the engine budget 3", w)
+	}
+	if st := eng.Stats(); st.Misses != uint64(len(jobs)) {
+		t.Fatalf("misses %d, want %d", st.Misses, len(jobs))
+	}
+	// Memory tier serves the rerun; the backend is not consulted.
+	if _, err := eng.EvaluateBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if n := backend.calls.Load(); n != 1 {
+		t.Fatalf("cached rerun reached the backend (%d calls)", n)
+	}
+}
+
+// TestBatchBackendDuplicateReportsDropped: a backend that violates
+// exactly-once (duplicate and out-of-range onDone calls) still yields
+// correct results and exactly one miss per job.
+func TestBatchBackendDuplicateReportsDropped(t *testing.T) {
+	backend := newFakeBatchBackend("dup")
+	eng := New(backend, 2)
+	jobs := batchTestJobs(4)
+	got, err := eng.EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if got[i] != batchMet(j) {
+			t.Fatalf("job %d: got %+v (a duplicate report won), want %+v", i, got[i], batchMet(j))
+		}
+	}
+	if st := eng.Stats(); st.Misses != uint64(len(jobs)) {
+		t.Fatalf("misses %d, want %d — duplicate reports double-counted", st.Misses, len(jobs))
+	}
+}
+
+// TestBatchBackendNeverResolved: an index the backend never reports is
+// abandoned by the deferred sweep with a diagnostic error — and the claim
+// is released, so a later submission evaluates it instead of inheriting
+// the failure.
+func TestBatchBackendNeverResolved(t *testing.T) {
+	backend := newFakeBatchBackend("skip-first")
+	eng := New(backend, 2)
+	jobs := batchTestJobs(3)
+	_, err := eng.EvaluateBatch(jobs)
+	if err == nil || !strings.Contains(err.Error(), "never resolved") {
+		t.Fatalf("got %v, want a never-resolved error", err)
+	}
+	backend.mode.Store("ok")
+	got, err := eng.EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatalf("resubmission after an unresolved claim: %v", err)
+	}
+	if got[0] != batchMet(jobs[0]) {
+		t.Fatalf("job 0: got %+v, want %+v", got[0], batchMet(jobs[0]))
+	}
+}
+
+// TestBatchBackendPanic: a panicking backend becomes per-claim errors, not
+// an engine panic, and the claims are re-evaluable afterwards.
+func TestBatchBackendPanic(t *testing.T) {
+	backend := newFakeBatchBackend("panic")
+	eng := New(backend, 2)
+	jobs := batchTestJobs(3)
+	_, err := eng.EvaluateBatch(jobs)
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("got %v, want a panic-converted error", err)
+	}
+	backend.mode.Store("ok")
+	if _, err := eng.EvaluateBatch(jobs); err != nil {
+		t.Fatalf("resubmission after a backend panic: %v", err)
+	}
+}
+
+// TestBatchBackendCancellation: a cancellation error from the backend
+// abandons the claim without memoizing it — exactly the local fan-out's
+// ctx-cancel semantics — and counts no miss.
+func TestBatchBackendCancellation(t *testing.T) {
+	backend := newFakeBatchBackend("cancel")
+	eng := New(backend, 2)
+	jobs := batchTestJobs(3)
+	_, err := eng.EvaluateBatch(jobs)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want an error wrapping context.Canceled", err)
+	}
+	if st := eng.Stats(); st.Misses != 0 {
+		t.Fatalf("abandoned jobs counted as %d misses, want 0", st.Misses)
+	}
+	backend.mode.Store("ok")
+	got, err := eng.EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatalf("resubmission after cancellation: %v", err)
+	}
+	for i, j := range jobs {
+		if got[i] != batchMet(j) {
+			t.Fatalf("job %d: got %+v, want %+v", i, got[i], batchMet(j))
+		}
+	}
+}
+
+// TestBatchBackendPersists: results resolved through a batch backend reach
+// the store tier like locally evaluated ones — a fresh engine sharing the
+// store serves the whole batch from it.
+func TestBatchBackendPersists(t *testing.T) {
+	store := newFakeStore()
+	backend := newFakeBatchBackend("ok")
+	eng := New(backend, 2).WithStore(store)
+	jobs := batchTestJobs(4)
+	if _, err := eng.EvaluateBatch(jobs); err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(newFakeBatchBackend("panic"), 2).WithStore(store)
+	got, err := fresh.EvaluateBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range jobs {
+		if got[i] != batchMet(j) {
+			t.Fatalf("job %d from store: got %+v, want %+v", i, got[i], batchMet(j))
+		}
+	}
+	if st := fresh.Stats(); st.DiskHits != uint64(len(jobs)) || st.Misses != 0 {
+		t.Fatalf("fresh engine stats %+v, want all store hits", st)
+	}
+}

@@ -53,6 +53,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -500,6 +501,54 @@ func (e *Engine) abandon(key Key, ent *entry, cause error) {
 	close(ent.done)
 }
 
+// runBatchBackend resolves a batch's claimed miss set through a
+// batch-aware backend. Every claim resolves on every path: a cancellation
+// error from the backend abandons the claim (never memoized, exactly like
+// the local fan-out's ctx check), any other result closes it, and the
+// deferred sweep catches a backend that panicked or violated the
+// exactly-once contract — unresolved claims are abandoned with an error
+// instead of stranding concurrent waiters (the PR 3 stuck-waiter class).
+func (e *Engine) runBatchBackend(ctx context.Context, bb BatchBackend, toRun []Key, owned map[Key]*entry, ran *atomic.Uint64, em engineMetrics, advance func(int)) {
+	jobs := make([]Job, len(toRun))
+	for i, key := range toRun {
+		jobs[i] = key.Job
+	}
+	// resolved guards the exactly-once contract on this side of the
+	// interface: a duplicate onDone for an index is dropped, and the
+	// deferred sweep claims any index the backend never reported.
+	resolved := make([]atomic.Bool, len(toRun))
+	defer func() {
+		r := recover()
+		for i, key := range toRun {
+			if !resolved[i].CompareAndSwap(false, true) {
+				continue
+			}
+			cause := fmt.Errorf("engine: batch backend %s never resolved corner %v at %v", bb.Name(), key.Config, key.Cond)
+			if r != nil {
+				cause = fmt.Errorf("engine: batch backend %s panicked: %v", bb.Name(), r)
+			}
+			e.abandon(key, owned[key], cause)
+			advance(1)
+		}
+	}()
+	bb.EvaluateJobs(ctx, jobs, e.Workers(), func(i int, met Metrics, err error) {
+		if i < 0 || i >= len(toRun) || !resolved[i].CompareAndSwap(false, true) {
+			return
+		}
+		key := toRun[i]
+		ent := owned[key]
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			e.abandon(key, ent, err)
+		} else {
+			ran.Add(1)
+			em.evals.Inc()
+			ent.met, ent.err = met, err
+			close(ent.done)
+		}
+		advance(1)
+	})
+}
+
 // EvaluateBatchOpts is EvaluateBatch with a cancellation context and a
 // per-cell progress callback (BatchOptions). It is the submission path of
 // the exploration layers that must stay interruptible and observable — the
@@ -605,23 +654,31 @@ func (e *Engine) EvaluateBatchOpts(jobs []Job, opts BatchOptions) ([]Metrics, er
 	// split between job-level fan-out and the per-job intra budget of
 	// IntraBackend backends.
 	if len(toRun) > 0 {
-		jobWorkers, intra, extra := e.splitBudget(len(toRun))
 		var ran atomic.Uint64
-		_, _ = sched.Map(jobWorkers, toRun, func(i int, key Key) (struct{}, error) {
-			if err := ctx.Err(); err != nil {
-				e.abandon(key, owned[key], err)
-			} else {
-				ran.Add(1)
-				grant := intra
-				if i < extra {
-					grant++
+		if bb, ok := e.backend.(BatchBackend); ok {
+			// A batch-aware backend (the remote coordinator) takes the whole
+			// miss set in one call and resolves each claim through onDone —
+			// distribution happens behind the Backend interface, so the
+			// exploration layers above this method are untouched.
+			e.runBatchBackend(ctx, bb, toRun, owned, &ran, em, advance)
+		} else {
+			jobWorkers, intra, extra := e.splitBudget(len(toRun))
+			_, _ = sched.Map(jobWorkers, toRun, func(i int, key Key) (struct{}, error) {
+				if err := ctx.Err(); err != nil {
+					e.abandon(key, owned[key], err)
+				} else {
+					ran.Add(1)
+					grant := intra
+					if i < extra {
+						grant++
+					}
+					em.queueWait.Observe((rec.Now() - batchStart).Seconds())
+					e.runClaimed(owned[key], key, grant, rec, bspan.ID(), em)
 				}
-				em.queueWait.Observe((rec.Now() - batchStart).Seconds())
-				e.runClaimed(owned[key], key, grant, rec, bspan.ID(), em)
-			}
-			advance(1)
-			return struct{}{}, nil
-		})
+				advance(1)
+				return struct{}{}, nil
+			})
+		}
 		// Only jobs that reached the backend are misses — abandoned jobs
 		// were neither served nor evaluated.
 		if n := ran.Load(); n > 0 {

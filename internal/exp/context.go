@@ -17,6 +17,7 @@ import (
 	"optima/internal/dse"
 	"optima/internal/engine"
 	"optima/internal/obs"
+	"optima/internal/remote"
 	"optima/internal/spice"
 	"optima/internal/store"
 )
@@ -76,6 +77,12 @@ type Context struct {
 	// spans to as Chrome trace-format JSON (opens in Perfetto or
 	// chrome://tracing). Wired to the CLIs' -trace-out flag.
 	TraceOut string
+	// Fleet, when non-nil, distributes evaluations across connected remote
+	// workers: every engine the session builds wraps its backend in
+	// Fleet.Backend, so only cache/store misses are shipped and a fleet
+	// with no workers degrades to local evaluation. Set it before the
+	// first evaluation (wired to the CLIs' -remote flag); Close closes it.
+	Fleet *remote.Fleet
 
 	engOnce      sync.Once
 	eng          *engine.Engine
@@ -137,6 +144,9 @@ func (c *Context) Engine() *engine.Engine {
 		if c.Recorder == nil && c.TraceOut != "" {
 			c.Recorder = obs.NewRecorder(obs.RecorderOptions{})
 		}
+		if c.Fleet != nil {
+			backend = c.Fleet.Backend(backend)
+		}
 		c.eng = engine.New(backend, c.Workers)
 		c.eng.WithRecorder(c.Recorder)
 		if c.CacheDir != "" {
@@ -191,7 +201,11 @@ func (c *Context) EngineFor(name string) (*engine.Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: %w", err)
 	}
-	eng := engine.New(backend, c.Workers)
+	var wrapped engine.Backend = backend
+	if c.Fleet != nil {
+		wrapped = c.Fleet.Backend(backend)
+	}
+	eng := engine.New(wrapped, c.Workers)
 	eng.WithRecorder(c.Recorder)
 	if c.resultStore != nil {
 		eng.WithStore(c.resultStore)
@@ -224,12 +238,18 @@ func (c *Context) StoreError() error { return c.storeErr }
 
 // Close finishes the session: any running CPU profile is stopped and the
 // heap profile written (profile.go), the trace file is written when
-// TraceOut is set, then the persistent result store, if any, is flushed
-// and closed. Safe to call on a context that never evaluated anything.
+// TraceOut is set, the remote fleet (if any) disconnects its workers,
+// then the persistent result store, if any, is flushed and closed. Safe
+// to call on a context that never evaluated anything.
 func (c *Context) Close() error {
 	err := c.stopProfiling()
 	if terr := c.writeTrace(); err == nil {
 		err = terr
+	}
+	if c.Fleet != nil {
+		if ferr := c.Fleet.Close(); err == nil {
+			err = ferr
+		}
 	}
 	if c.resultStore != nil {
 		if serr := c.resultStore.Close(); err == nil {

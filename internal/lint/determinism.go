@@ -21,6 +21,11 @@ var deterministicPkgs = []string{
 	"internal/store",
 	"internal/mult",
 	"internal/exp",
+	// The distributed coordinator/worker layer feeds the same cache and
+	// store: a wire frame assembled in map order, or a result derived from
+	// the wall clock, would break the byte-identity contract between a
+	// local and a distributed run.
+	"internal/remote",
 }
 
 // seededRandCtors are the math/rand functions that merely construct

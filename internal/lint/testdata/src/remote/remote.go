@@ -1,0 +1,51 @@
+// Package remote is the expected-diagnostic corpus pinning the
+// distributed-evaluation invariants: a wire frame must never be assembled
+// in map iteration order (two coordinators would ship byte-different
+// batches for the same cell set), and a shipped result must never derive
+// from the wall clock (a re-run would decode different bytes). The clean
+// twins show the required idioms — sort the keys before encoding, take
+// durations as inputs.
+package remote
+
+import (
+	"sort"
+	"time"
+)
+
+// badFrameFromMapOrder assembles a batch body by ranging over the cell
+// map directly: the frame bytes inherit the randomized iteration order.
+func badFrameFromMapOrder(cells map[uint32][]byte) []byte {
+	var frame []byte
+	for _, body := range cells {
+		frame = append(frame, body...) // want "accumulation into frame"
+	}
+	return frame
+}
+
+// goodFrameSortedKeys is the required idiom: a canonical key order before
+// any byte reaches the frame.
+func goodFrameSortedKeys(cells map[uint32][]byte) []byte {
+	keys := make([]uint32, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	var frame []byte
+	for _, k := range keys {
+		frame = append(frame, cells[k]...)
+	}
+	return frame
+}
+
+// badWallClockResult stamps a result frame with the wall clock: the same
+// cell evaluated twice would ship different bytes.
+func badWallClockResult(payload []byte) []byte {
+	ns := time.Now().UnixNano() // want "time.Now"
+	return append(payload, byte(ns))
+}
+
+// goodDurationAsInput takes the measured duration as an argument — the
+// recorder owns time; the codec only ever sees a value.
+func goodDurationAsInput(payload []byte, dur time.Duration) []byte {
+	return append(payload, byte(dur/time.Millisecond))
+}

@@ -31,6 +31,10 @@ const (
 	CatRung = "rung"
 	// CatJob covers one server job from running to terminal state.
 	CatJob = "job"
+	// CatRemote covers distributed-evaluation work: one coordinator
+	// dispatch, the per-worker batch shipments under it, and the
+	// worker-reported remote evaluations (internal/remote).
+	CatRemote = "remote"
 )
 
 // SpanID identifies one span within a Recorder. 0 is "no span" — the
@@ -174,6 +178,28 @@ func (r *Recorder) StartSpan(parent SpanID, cat, name, arg string) Timer {
 		arg:    arg,
 		start:  r.clock(),
 	}
+}
+
+// AddSpan records an already-measured span of the given duration ending
+// now on the recorder's clock, returning its ID. It is the ingestion path
+// for spans timed elsewhere — the remote coordinator records each
+// worker-reported evaluation duration under its dispatch span without
+// pretending to have observed the start. Nil-safe: a nil recorder returns
+// 0 and records nothing.
+func (r *Recorder) AddSpan(parent SpanID, cat, name, arg string, dur time.Duration) SpanID {
+	if r == nil {
+		return 0
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	id := SpanID(r.nextID.Add(1))
+	start := r.clock() - dur
+	if start < 0 {
+		start = 0
+	}
+	r.record(Span{ID: id, Parent: parent, Cat: cat, Name: name, Arg: arg, Start: start, Dur: dur})
+	return id
 }
 
 // record appends a completed span to the ring, overwriting the oldest

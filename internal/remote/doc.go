@@ -1,0 +1,30 @@
+// Package remote distributes engine evaluations across a fleet of worker
+// processes, sharding the (config × condition) plane behind the engine's
+// memoizing cache.
+//
+// Topology: a coordinator (Fleet) listens on TCP; workers (Worker,
+// typically cmd/optima-worker processes) dial in, handshake, and then pull
+// batches of evaluation cells. The coordinator side plugs in beneath the
+// engine as a Backend wrapper — Fleet.Backend(local) returns a Proxy that
+// implements engine.Backend, engine.IntraBackend, and engine.BatchBackend —
+// so EvaluateBatch, EvaluateMatrix, search runs, and the server all gain
+// distribution with zero changes: the engine's store and cache layers run
+// first, and only true misses are ever shipped.
+//
+// Sharding is key-range over engine.Key.Hash, the same host-stable hash the
+// store uses, so a given cell lands on the same worker across batches and
+// runs (store/trim affinity). Work stealing rebalances slow workers, dead
+// workers have their in-flight cells reassigned exactly once per loss, and
+// a fleet with zero live workers degrades to local evaluation rather than
+// failing. Backends are deterministic, so first-result-wins deduplication
+// is sound and results are byte-identical to a local run at any worker
+// count.
+//
+// The wire protocol is length-prefixed binary frames with the same framing
+// discipline as internal/store's codec: a u32 body length, a u32 CRC32 of
+// the body, u16-length-prefixed strings, and metrics as little-endian
+// math.Float64bits words — exact round-trip, no JSON in the hot path.
+// The handshake carries a calibration fingerprint; a worker whose model
+// calibration differs from the coordinator's is rejected at connect time,
+// never silently mixed into results.
+package remote

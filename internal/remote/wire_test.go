@@ -1,0 +1,284 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"optima/internal/device"
+	"optima/internal/engine"
+	"optima/internal/mult"
+)
+
+// testBatch exercises every encoded field, including the float values that
+// only exact bit round-trips preserve (-0, denormals, huge magnitudes).
+func testBatch() batchFrame {
+	return batchFrame{
+		Dispatch: 7,
+		Backend:  "behavioral",
+		Cells: []batchCell{
+			{Index: 0, Job: engine.Job{
+				Config: mult.Config{Tau0: 0.16e-9, VDAC0: 0.3, VDACFS: 1.0},
+				Cond:   device.PVT{Corner: device.CornerTT, VDD: 1.0, TempC: 27},
+			}},
+			{Index: 3, Job: engine.Job{
+				Config: mult.Config{Tau0: math.Copysign(0, -1), VDAC0: 5e-324, VDACFS: 1e300},
+				Cond:   device.PVT{Corner: device.CornerSS, VDD: 0.9, TempC: -40},
+			}},
+		},
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	in := helloFrame{Proto: protoVersion, Fingerprint: "fp-abc123", Capacity: 8}
+	frame := appendHello(nil, in)
+	typ, payload, n, err := decodeFrame(frame)
+	if err != nil || typ != frameHello || n != len(frame) {
+		t.Fatalf("decodeFrame: typ=%d n=%d err=%v", typ, n, err)
+	}
+	out, err := decodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("hello round-trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestWelcomeRoundTrip(t *testing.T) {
+	for _, reject := range []string{"", "calibration fingerprint mismatch"} {
+		frame := appendWelcome(nil, welcomeFrame{Reject: reject})
+		typ, payload, _, err := decodeFrame(frame)
+		if err != nil || typ != frameWelcome {
+			t.Fatalf("decodeFrame: typ=%d err=%v", typ, err)
+		}
+		out, err := decodeWelcome(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Reject != reject {
+			t.Fatalf("welcome round-trip: got %q, want %q", out.Reject, reject)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := testBatch()
+	frame := appendBatch(nil, in)
+	typ, payload, _, err := decodeFrame(frame)
+	if err != nil || typ != frameBatch {
+		t.Fatalf("decodeFrame: typ=%d err=%v", typ, err)
+	}
+	out, err := decodeBatch(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dispatch != in.Dispatch || out.Backend != in.Backend || len(out.Cells) != len(in.Cells) {
+		t.Fatalf("batch header round-trip: got %+v, want %+v", out, in)
+	}
+	for i := range in.Cells {
+		want, got := in.Cells[i], out.Cells[i]
+		if got.Index != want.Index || got.Job != want.Job {
+			// Compare the bit patterns too: -0 == 0 under ==, but the wire
+			// must preserve the sign bit for byte-identity.
+			t.Fatalf("cell %d round-trip: got %+v, want %+v", i, got, want)
+		}
+	}
+	if got, want := math.Float64bits(out.Cells[1].Job.Config.Tau0), math.Float64bits(in.Cells[1].Job.Config.Tau0); got != want {
+		t.Fatalf("negative zero lost: bits %x, want %x", got, want)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	ok := resultFrame{
+		Dispatch: 9, Index: 4, DurNS: 12345, Status: resultOK,
+		Met: engine.Metrics{
+			EpsMul: 0.25, EpsLarge: 0.5, EpsSmall: math.Copysign(0, -1),
+			EMul: 21e-15, SigmaMaxLSB: 0.04, SigmaMaxVolt: 5.04e-3, LSBVolt: 1e300,
+		},
+	}
+	frame := appendResult(nil, ok)
+	typ, payload, _, err := decodeFrame(frame)
+	if err != nil || typ != frameResult {
+		t.Fatalf("decodeFrame: typ=%d err=%v", typ, err)
+	}
+	out, err := decodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dispatch != ok.Dispatch || out.Index != ok.Index || out.DurNS != ok.DurNS || out.Status != byte(resultOK) {
+		t.Fatalf("result header: got %+v", out)
+	}
+	if math.Float64bits(out.Met.EpsSmall) != math.Float64bits(ok.Met.EpsSmall) || out.Met != ok.Met {
+		t.Fatalf("metrics round-trip: got %+v, want %+v", out.Met, ok.Met)
+	}
+
+	fail := resultFrame{Dispatch: 9, Index: 5, Status: resultErr, Err: "backend exploded"}
+	typ, payload, _, err = decodeFrame(appendResult(nil, fail))
+	if err != nil || typ != frameResult {
+		t.Fatalf("decodeFrame: typ=%d err=%v", typ, err)
+	}
+	out, err = decodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Err != fail.Err {
+		t.Fatalf("error round-trip: got %q, want %q", out.Err, fail.Err)
+	}
+
+	// Oversized error strings truncate rather than overflow the length
+	// prefix.
+	long := resultFrame{Status: resultErr, Err: strings.Repeat("x", maxStringLen+100)}
+	_, payload, _, err = decodeFrame(appendResult(nil, long))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = decodeResult(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Err) != maxStringLen {
+		t.Fatalf("oversized error string: %d bytes after round-trip, want %d", len(out.Err), maxStringLen)
+	}
+}
+
+func TestReadFrameMatchesDecodeFrame(t *testing.T) {
+	frame := appendBatch(nil, testBatch())
+	typ, payload, n, err := readFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dtyp, dpayload, dn, derr := decodeFrame(frame)
+	if derr != nil || typ != dtyp || n != dn || !bytes.Equal(payload, dpayload) {
+		t.Fatalf("readFrame disagrees with decodeFrame: typ %d vs %d, n %d vs %d", typ, dtyp, n, dn)
+	}
+}
+
+// TestDecodeFrameTruncation: every proper prefix of a valid frame must
+// decode to an error — the length prefix or the CRC catches the cut, never
+// a partial decode.
+func TestDecodeFrameTruncation(t *testing.T) {
+	frame := appendBatch(nil, testBatch())
+	for n := 0; n < len(frame); n++ {
+		if _, _, _, err := decodeFrame(frame[:n]); err == nil {
+			t.Fatalf("frame truncated to %d of %d bytes decoded without error", n, len(frame))
+		}
+	}
+}
+
+// TestDecodeFrameCorruption: flipping any single byte of a valid frame must
+// either error or decode to exactly the original frame — never a silent
+// mis-decode (the CRC covers the whole body including the type byte).
+func TestDecodeFrameCorruption(t *testing.T) {
+	frame := appendResult(nil, resultFrame{
+		Dispatch: 3, Index: 1, DurNS: 99, Status: resultOK,
+		Met: engine.Metrics{EpsMul: 0.25, EMul: 21e-15},
+	})
+	origTyp, origPayload, _, err := decodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0xFF
+		typ, payload, _, err := decodeFrame(bad)
+		if err != nil {
+			continue
+		}
+		if typ != origTyp || !bytes.Equal(payload, origPayload) {
+			t.Fatalf("byte %d corrupted: decoded to typ=%d payload=%x without error", i, typ, payload)
+		}
+	}
+}
+
+// TestDecodeStrictness: payload decoders reject trailing bytes and unknown
+// statuses instead of ignoring them.
+func TestDecodeStrictness(t *testing.T) {
+	// Trailing byte after a well-formed hello payload.
+	frame := appendHello(nil, helloFrame{Proto: 1, Fingerprint: "fp", Capacity: 2})
+	_, payload, _, err := decodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeHello(append(append([]byte(nil), payload...), 0x00)); err == nil {
+		t.Fatal("hello payload with a trailing byte decoded without error")
+	}
+
+	// Unknown result status.
+	bad := appendFrame(nil, frameResult, func() []byte {
+		p := make([]byte, 0, 21)
+		p = append(p, make([]byte, 8+4+8)...) // dispatch, index, durns
+		return append(p, 99)                  // bogus status
+	}())
+	_, payload, _, err = decodeFrame(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeResult(payload); err == nil {
+		t.Fatal("result with unknown status decoded without error")
+	}
+
+	// Batch whose cell count disagrees with its body length.
+	b := testBatch()
+	frame = appendBatch(nil, b)
+	_, payload, _, err = decodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := append([]byte(nil), payload...)
+	short = short[:len(short)-8]
+	if _, err := decodeBatch(short); err == nil {
+		t.Fatal("batch with a short cell array decoded without error")
+	}
+}
+
+// FuzzDecodeFrame drives the frame and payload decoders with arbitrary
+// bytes: they must never panic, and whatever decodes must re-encode to the
+// same bytes it was decoded from (no mis-decode can survive a round trip).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add(appendHello(nil, helloFrame{Proto: protoVersion, Fingerprint: "fp", Capacity: 4}))
+	f.Add(appendWelcome(nil, welcomeFrame{}))
+	f.Add(appendWelcome(nil, welcomeFrame{Reject: "nope"}))
+	f.Add(appendBatch(nil, testBatch()))
+	f.Add(appendResult(nil, resultFrame{Dispatch: 1, Index: 2, Status: resultOK}))
+	f.Add(appendResult(nil, resultFrame{Dispatch: 1, Index: 2, Status: resultErr, Err: "x"}))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, n, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		if n < frameHeaderLen+1 || n > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n, len(data))
+		}
+		switch typ {
+		case frameHello:
+			if h, err := decodeHello(payload); err == nil {
+				if got := appendHello(nil, h); !bytes.Equal(got, data[:n]) {
+					t.Fatalf("hello re-encode mismatch: %x vs %x", got, data[:n])
+				}
+			}
+		case frameWelcome:
+			if w, err := decodeWelcome(payload); err == nil {
+				if got := appendWelcome(nil, w); !bytes.Equal(got, data[:n]) {
+					t.Fatalf("welcome re-encode mismatch: %x vs %x", got, data[:n])
+				}
+			}
+		case frameBatch:
+			if b, err := decodeBatch(payload); err == nil {
+				if got := appendBatch(nil, b); !bytes.Equal(got, data[:n]) {
+					t.Fatalf("batch re-encode mismatch: %x vs %x", got, data[:n])
+				}
+			}
+		case frameResult:
+			if r, err := decodeResult(payload); err == nil {
+				if got := appendResult(nil, r); !bytes.Equal(got, data[:n]) {
+					t.Fatalf("result re-encode mismatch: %x vs %x", got, data[:n])
+				}
+			}
+		}
+	})
+}
